@@ -1,0 +1,44 @@
+"""Ablation: the RAS↔job matching tolerance.
+
+The time+location join (§IV) has one free parameter: how close a job's
+End Time must be to a fatal event to count as interrupted. Too tight
+loses clock-skewed kills; too loose manufactures interruptions from
+coincidences (and corrupts the §IV-A case evidence — a rack-level alarm
+matching a random job end flips a non-fatal type to "undetermined").
+The sweep shows the stable plateau and where coincidences take over.
+"""
+
+from benchmarks.conftest import banner
+from repro.core.matching import InterruptionMatcher
+
+
+def test_ablation_matching_tolerance(benchmark, trace, analysis):
+    events = analysis.events_filtered
+    tolerances = [1.0, 5.0, 15.0, 60.0, 300.0, 1800.0]
+
+    def sweep():
+        out = []
+        for tol in tolerances:
+            match = InterruptionMatcher(tolerance=tol).match(
+                events, trace.job_log
+            )
+            out.append((tol, match.num_interrupted_jobs, match.pairs.num_rows))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    truth = len(trace.ground_truth.interrupted_job_ids())
+    banner("ABLATION: matching tolerance sweep")
+    print(f"ground-truth interrupted jobs: {truth}")
+    print(f"{'tolerance':>10} {'matched jobs':>13} {'pairs':>7}")
+    for tol, n_jobs, n_pairs in results:
+        print(f"{tol:>9.0f}s {n_jobs:>13} {n_pairs:>7}")
+
+    counts = [n for _, n, _ in results]
+    # monotone: looser tolerance can only match more
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+    # the default (15 s) sits on the plateau: within 10% of 60 s
+    i15 = tolerances.index(15.0)
+    i60 = tolerances.index(60.0)
+    assert counts[i60] <= counts[i15] * 1.15 + 2
+    # half-hour tolerance manufactures matches beyond the ground truth
+    assert counts[-1] > counts[i15]

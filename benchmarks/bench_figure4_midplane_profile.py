@@ -1,0 +1,48 @@
+"""Figure 4: per-midplane fatal events (a), workload (b), and wide-job
+workload (c).
+
+Shape criteria (the Observation 5 story): midplanes 33–64 hold the
+largest share of fatal events and of *wide-job* workload, while the
+*total* workload concentrates elsewhere (small-job regions), i.e. the
+event profile tracks (c), not (b).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.core.characteristics import midplane_profile, midplane_skew
+
+
+def test_figure4_profiles(benchmark, trace, analysis):
+    profile = benchmark(
+        midplane_profile, analysis.events_final, trace.job_log
+    )
+    skew = midplane_skew(profile)
+    banner("FIGURE 4: per-midplane profiles (8-midplane blocks)")
+    fatal = profile["fatal_events"]
+    work = profile["workload"]
+    wide = profile["wide_workload"]
+    print(f"{'block':>10} {'fatal':>7} {'workload(h)':>12} {'wide(h)':>9}")
+    for b in range(0, 80, 8):
+        print(
+            f"{b:>4}-{b + 7:<5} {int(fatal[b:b + 8].sum()):>7} "
+            f"{work[b:b + 8].sum() / 3600:>12.0f} "
+            f"{wide[b:b + 8].sum() / 3600:>9.0f}"
+        )
+    print(
+        f"wide region [32,64) shares: events "
+        f"{skew.wide_region_event_share:.2f}, wide workload "
+        f"{skew.wide_region_wide_workload_share:.2f}, total workload "
+        f"{skew.wide_region_total_workload_share:.2f}"
+    )
+    print(f"top failure midplanes: {skew.top_failure_midplanes} "
+          f"(paper: 57, 60, 59 — all inside 32..63)")
+
+    # events track wide workload, not total workload
+    assert skew.wide_region_event_share > skew.wide_region_total_workload_share
+    assert (
+        skew.wide_region_wide_workload_share
+        > skew.wide_region_total_workload_share
+    )
+    # and the wide region is over-represented relative to its 40% size
+    assert skew.wide_region_event_share > 0.40

@@ -1,0 +1,34 @@
+"""Figure 5: number of interruptions per day.
+
+Shape criterion (Observation 6): the daily series is over-dispersed
+(index of dispersion > 1 — bursts), with interruption-free stretches
+and burst days, and quick successive interruptions exist.
+"""
+
+from benchmarks.conftest import banner
+from repro.core.bursts import burst_study
+
+
+def test_figure5_daily_series(benchmark, analysis):
+    study = benchmark(
+        burst_study, analysis.interruptions, analysis.t_start, analysis.duration
+    )
+    banner("FIGURE 5: interruptions per day")
+    per_day = study.per_day
+    # print a compact sparkline-style summary by week
+    weeks = [int(per_day[i:i + 7].sum()) for i in range(0, len(per_day), 7)]
+    print("weekly totals:", weeks)
+    print(
+        f"days covered: {len(per_day)}, days with interruptions: "
+        f"{study.days_with_interruptions}, max/day: {study.max_per_day}"
+    )
+    print(
+        f"index of dispersion: {study.burstiness:.2f} (>1 = bursty) | "
+        f"quick successions (<{study.quick_window:.0f}s): "
+        f"{study.quick_successions} (paper: 33) | "
+        f"longest one-location kill chain: {study.max_jobs_per_location_chain} "
+        f"(paper: 28 jobs in 92 h)"
+    )
+    assert study.burstiness > 1.0
+    assert study.quick_successions > 0
+    assert study.days_with_interruptions < len(per_day)  # quiet days exist

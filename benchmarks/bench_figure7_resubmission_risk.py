@@ -1,0 +1,45 @@
+"""Figure 7: P(interruption on resubmission | k prior consecutive
+interruptions), per category.
+
+Paper shape: category 1 (system) peaks at k=2 (~53%) and drops at k=3;
+category 2 (application) rises monotonically to ~60% at k=3. Small
+denominators make the k=3 points noisy at reduced scale, so the
+criteria target the robust parts: both categories show substantially
+elevated risk after a prior interruption.
+"""
+
+from benchmarks.conftest import banner
+from repro.core.vulnerability import vulnerability_study
+
+
+def test_figure7_risk_curves(benchmark, trace, analysis):
+    study = benchmark(
+        vulnerability_study,
+        trace.job_log,
+        analysis.interruptions,
+        analysis.events_final,
+    )
+    banner("FIGURE 7: resubmission interruption risk")
+    paper = {"system": [0.35, 0.53, 0.38], "application": [0.33, 0.45, 0.60]}
+    for risk, label in (
+        (study.risk_system, "system"),
+        (study.risk_application, "application"),
+    ):
+        cells = "  ".join(
+            f"k={k + 1}: {100 * p:.0f}% ({risk.counts[k][0]}/{risk.counts[k][1]})"
+            for k, p in enumerate(risk.probabilities())
+        )
+        ref = "  ".join(f"k={i + 1}: {100 * p:.0f}%" for i, p in
+                        enumerate(paper[label]))
+        print(f"{label:>12}: {cells}")
+        print(f"{'paper':>12}: {ref}")
+
+    # baseline risk for comparison
+    base = analysis.num_interrupted_jobs / max(1, analysis.num_jobs)
+    print(f"baseline P(interrupt) = {100 * base:.2f}%")
+    sys_k1 = study.risk_system.probability(1)
+    if study.risk_system.counts[0][1] >= 20:
+        assert sys_k1 > 5 * base, "history must matter (Obs. 9)"
+    app_counts = study.risk_application.counts
+    if app_counts[0][1] >= 10:
+        assert study.risk_application.probability(1) > 5 * base

@@ -1,0 +1,26 @@
+"""Observations 1–12: the paper's headline findings, recomputed.
+
+Prints each observation with measured vs paper values; asserts the
+large-sample ones hold at benchmark scale.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, banner
+from repro.core.observations import compute_observations
+
+
+def test_observations(benchmark, analysis):
+    observations = benchmark(compute_observations, analysis)
+    banner("OBSERVATIONS 1-12: measured vs paper")
+    for obs in observations:
+        print(obs.summary())
+        if obs.paper:
+            ref = ", ".join(f"{k}={v}" for k, v in obs.paper.items())
+            print(f"        paper: {ref}")
+    held = sum(1 for o in observations if o.holds)
+    print(f"\n=> {held}/12 hold at scale {BENCH_SCALE}")
+    # the scale-robust observations must hold even on reduced traces
+    robust = {1, 2, 3, 5, 6, 7, 8, 11}
+    for obs in observations:
+        if obs.number in robust:
+            assert obs.holds, f"Observation {obs.number} diverged: {obs.summary()}"
+    assert held >= 9

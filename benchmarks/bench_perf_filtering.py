@@ -1,0 +1,60 @@
+"""Performance: filtering throughput on synthetic record streams.
+
+Not a paper artifact — engineering hygiene for the tool itself. Streams
+are generated to stress each filter's hot path (dense same-location
+storms for temporal, cross-location fan-out for spatial).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.events import FatalEventTable
+from repro.core.filtering import SpatialFilter, TemporalFilter
+from repro.frame import Frame
+
+
+def make_stream(n: int, n_types: int, n_locations: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    types = np.array([f"T{i:02d}" for i in range(n_types)], dtype=object)
+    locs = np.array(
+        [f"R{r // 8}{r % 8}-M{m}" for r in range(40) for m in range(2)][
+            :n_locations
+        ],
+        dtype=object,
+    )
+    times = np.sort(rng.uniform(0, 1e6, n))
+    frame = Frame(
+        {
+            "event_id": np.arange(n, dtype=np.int64),
+            "event_time": times,
+            "errcode": types[rng.integers(0, n_types, n)],
+            "component": np.array(["KERNEL"], dtype=object).repeat(n),
+            "location": locs[rng.integers(0, n_locations, n)],
+            "mp_lo": rng.integers(0, 80, n),
+            "mp_hi": rng.integers(0, 80, n),
+        }
+    )
+    return FatalEventTable(frame)
+
+
+@pytest.fixture(scope="module")
+def stream_50k():
+    return make_stream(50_000, n_types=60, n_locations=80)
+
+
+def test_perf_temporal_filter_50k(benchmark, stream_50k):
+    out = benchmark(TemporalFilter(threshold=300.0).apply, stream_50k)
+    assert 0 < len(out) <= len(stream_50k)
+
+
+def test_perf_spatial_filter_50k(benchmark, stream_50k):
+    out = benchmark(SpatialFilter(threshold=300.0).apply, stream_50k)
+    assert 0 < len(out) <= len(stream_50k)
+
+
+def test_perf_fatal_extraction(benchmark, trace):
+    """Location parsing dominates extraction; must stay linear."""
+    from repro.core.events import fatal_event_table
+
+    events = benchmark(fatal_event_table, trace.ras_log)
+    assert len(events) > 0

@@ -1,0 +1,50 @@
+"""Performance: the columnar-frame substrate under log-analysis load."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture(scope="module")
+def big_frame():
+    rng = np.random.default_rng(1)
+    n = 500_000
+    users = np.array([f"u{i:03d}" for i in range(236)], dtype=object)
+    return Frame(
+        {
+            "job_id": np.arange(n, dtype=np.int64),
+            "user": users[rng.integers(0, 236, n)],
+            "size": rng.choice([1, 2, 4, 8, 16, 32, 64], n),
+            "runtime": rng.exponential(3000.0, n),
+        }
+    )
+
+
+def test_perf_groupby_agg_500k(benchmark, big_frame):
+    out = benchmark(
+        lambda f: f.groupby("user").agg(
+            jobs="count", total=("runtime", "sum"), widest=("size", "max")
+        ),
+        big_frame,
+    )
+    assert out.num_rows == 236
+
+
+def test_perf_sort_500k(benchmark, big_frame):
+    out = benchmark(big_frame.sort_by, "user", "runtime")
+    assert out.num_rows == big_frame.num_rows
+
+
+def test_perf_filter_500k(benchmark, big_frame):
+    out = benchmark(lambda f: f.filter(f["size"] >= 16), big_frame)
+    assert 0 < out.num_rows < big_frame.num_rows
+
+
+def test_perf_join_500k_x_236(benchmark, big_frame):
+    users = big_frame.unique("user")
+    lookup = Frame(
+        {"user": users, "suspicious": np.arange(len(users)) % 15 == 0}
+    )
+    out = benchmark(big_frame.join, lookup, "user")
+    assert out.num_rows == big_frame.num_rows

@@ -1,0 +1,27 @@
+"""Performance: trace-generation throughput.
+
+The simulator is the substrate substitution for the unreleased Intrepid
+logs; its cost determines how cheaply the experiments re-run. Measured
+at a small scale so the benchmark itself stays quick.
+"""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core import CoAnalysis
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+
+
+def test_perf_simulate_scale_002(benchmark):
+    profile = CalibrationProfile(seed=BENCH_SEED, scale=0.02)
+
+    def run():
+        return IntrepidSimulation(profile).run()
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert trace.job_log.num_jobs > 500
+
+
+def test_perf_analyze_scale_002(benchmark):
+    profile = CalibrationProfile(seed=BENCH_SEED, scale=0.02)
+    trace = IntrepidSimulation(profile).run()
+    result = benchmark(CoAnalysis().run, trace.ras_log, trace.job_log)
+    assert len(result.observations) == 12

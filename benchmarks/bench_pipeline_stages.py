@@ -1,0 +1,74 @@
+"""Figure 1: the co-analysis pipeline, stage by stage.
+
+Times each methodology stage separately (temporal, spatial, causality
+filtering; interruption matching; identification; classification;
+job-related filtering) — the performance profile of the tool itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import banner
+from repro.core.events import fatal_event_table
+from repro.core.filtering import (
+    CausalityFilter,
+    JobRelatedFilter,
+    SpatialFilter,
+    TemporalFilter,
+)
+from repro.core.matching import InterruptionMatcher
+from repro.core.pipeline import CoAnalysis
+
+
+@pytest.fixture(scope="module")
+def raw_events(trace):
+    return fatal_event_table(trace.ras_log)
+
+
+@pytest.fixture(scope="module")
+def temporal_events(raw_events):
+    return TemporalFilter().apply(raw_events)
+
+
+@pytest.fixture(scope="module")
+def spatial_events(temporal_events):
+    return SpatialFilter().apply(temporal_events)
+
+
+def test_stage_extract_fatal(benchmark, trace):
+    events = benchmark(fatal_event_table, trace.ras_log)
+    assert len(events) > 0
+
+
+def test_stage_temporal_filter(benchmark, raw_events):
+    out = benchmark(TemporalFilter().apply, raw_events)
+    assert len(out) <= len(raw_events)
+
+
+def test_stage_spatial_filter(benchmark, temporal_events):
+    out = benchmark(SpatialFilter().apply, temporal_events)
+    assert len(out) <= len(temporal_events)
+
+
+def test_stage_causality_filter(benchmark, spatial_events):
+    out = benchmark(CausalityFilter().apply, spatial_events)
+    assert len(out) <= len(spatial_events)
+
+
+def test_stage_matching(benchmark, spatial_events, trace):
+    match = benchmark(
+        InterruptionMatcher().match, spatial_events, trace.job_log
+    )
+    assert match.pairs.num_rows >= 0
+
+
+def test_full_pipeline(benchmark, trace):
+    result = benchmark(CoAnalysis().run, trace.ras_log, trace.job_log)
+    banner("FIGURE 1: full pipeline output sizes")
+    print(
+        f"raw {result.filter_stats.raw} -> temporal "
+        f"{result.filter_stats.after_temporal} -> spatial "
+        f"{result.filter_stats.after_spatial} -> causal "
+        f"{result.filter_stats.after_causal} -> job-related "
+        f"{len(result.events_final)}"
+    )
+    assert result.filter_stats.compression_ratio > 0.9

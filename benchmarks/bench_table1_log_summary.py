@@ -1,0 +1,41 @@
+"""Table I: summary of the RAS log and job log.
+
+Paper (237 days, 2009-01-05 → 2009-08-31): RAS 2,084,392 records,
+job log 68,794 jobs. The benchmark times the summary computation; the
+printed table compares reproduced volumes (rescaled) to the paper.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, banner
+from repro.logs import format_bgp_time
+from repro.workload.tables import PAPER_RAS_RECORDS, PAPER_TOTAL_JOBS
+
+
+def summarize(trace):
+    ras_t0, ras_t1 = trace.ras_log.time_span()
+    job_t0, job_t1 = trace.job_log.time_span()
+    return {
+        "ras_records": len(trace.ras_log),
+        "fatal_records": trace.num_fatal_records,
+        "jobs": trace.job_log.num_jobs,
+        "distinct_jobs": trace.job_log.num_distinct_jobs(),
+        "ras_days": (ras_t1 - ras_t0) / 86400.0,
+        "job_days": (job_t1 - job_t0) / 86400.0,
+        "start": format_bgp_time(ras_t0)[:10],
+        "end": format_bgp_time(ras_t1)[:10],
+    }
+
+
+def test_table1_log_summary(benchmark, trace):
+    s = benchmark(summarize, trace)
+    banner("TABLE I: log summary — paper vs reproduced")
+    print(f"{'':>16} {'paper':>12} {'reproduced':>12} {'rescaled':>12}")
+    print(f"{'RAS records':>16} {PAPER_RAS_RECORDS:>12} "
+          f"{s['ras_records']:>12} {s['ras_records'] / BENCH_SCALE:>12.0f}")
+    print(f"{'FATAL records':>16} {33370:>12} {s['fatal_records']:>12} "
+          f"{s['fatal_records'] / BENCH_SCALE:>12.0f}")
+    print(f"{'jobs':>16} {PAPER_TOTAL_JOBS:>12} {s['jobs']:>12} "
+          f"{s['jobs'] / BENCH_SCALE:>12.0f}")
+    print(f"{'days':>16} {237:>12} {s['ras_days']:>12.0f}")
+    print(f"window {s['start']} .. {s['end']} (paper: 2009-01-05 .. 2009-08-31)")
+    assert s["ras_days"] >= 230
+    assert s["jobs"] > 0.8 * PAPER_TOTAL_JOBS * BENCH_SCALE

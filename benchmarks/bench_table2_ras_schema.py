@@ -1,0 +1,32 @@
+"""Table II: the RAS event record.
+
+Round-trips records through the Table II text layout and times parsing
+throughput; prints one reproduced record in the paper's card format.
+"""
+
+import io
+
+from benchmarks.conftest import banner
+from repro.frame.io import from_string, to_string
+from repro.logs.ras import RasLog
+from repro.logs.textio import describe_ras_record
+
+
+def roundtrip(frame_text):
+    return from_string(frame_text)
+
+
+def test_table2_ras_record_roundtrip(benchmark, trace):
+    head = RasLog(trace.ras_log.frame.head(5000))
+    text = to_string(head.frame)
+    parsed = benchmark(roundtrip, text)
+    assert parsed.num_rows == 5000
+
+    banner("TABLE II: one reproduced RAS record (paper card layout)")
+    fatal = trace.ras_log.fatal()
+    print(describe_ras_record(fatal.frame.row(0)))
+    row = fatal.frame.row(0)
+    for field in ("recid", "msg_id", "component", "subcomponent", "errcode",
+                  "severity", "event_time", "location", "serialnumber",
+                  "message"):
+        assert field in row

@@ -1,0 +1,24 @@
+"""Table III: the Cobalt job record.
+
+Times job-log text io; prints one reproduced record in the paper's card
+layout (Table III shows job 8935 on R10-R11).
+"""
+
+from benchmarks.conftest import banner
+from repro.frame.io import from_string, to_string
+from repro.logs.textio import describe_job_record
+
+
+def test_table3_job_record_roundtrip(benchmark, trace):
+    text = to_string(trace.job_log.frame.head(5000))
+    parsed = benchmark(from_string, text)
+    assert parsed.num_rows == 5000
+
+    banner("TABLE III: one reproduced job record (paper card layout)")
+    # pick a multi-midplane job like the paper's R10-R11 example
+    frame = trace.job_log.frame
+    multi = frame.filter(frame["size_midplanes"] >= 4)
+    row = multi.row(0) if multi.num_rows else frame.row(0)
+    print(describe_job_record(row))
+    assert row["location"]
+    assert row["end_time"] >= row["start_time"]

@@ -1,0 +1,32 @@
+"""Table V: Weibull fits of interruption interarrivals per category.
+
+Paper: system shape 0.346/scale 23,075 (MTTI 120,454 s); application
+shape 0.301/scale 23,802 (MTTI 215,886 s). Shape criteria: Weibull
+preferred, shapes < 1, and application MTTI exceeding system MTTI.
+"""
+
+from benchmarks.conftest import banner
+from repro.core.rates import interruption_rate_study
+
+
+def test_table5_interruption_fits(benchmark, analysis):
+    mtbf = analysis.interarrivals.after.weibull.mean
+    study = benchmark(interruption_rate_study, analysis.interruptions, mtbf)
+    banner("TABLE V: interruption interarrival fits — paper vs reproduced")
+    print(f"{'cause':>14} {'shape':>10} {'scale':>12} {'mean (MTTI)':>14}")
+    print(f"{'paper system':>14} {0.346296:>10.4f} {23075.3:>12.1f} {120454:>14.0f}")
+    if study.system:
+        w = study.system.weibull
+        print(f"{'ours  system':>14} {w.shape:>10.4f} {w.scale:>12.1f} {w.mean:>14.0f}")
+    print(f"{'paper applic':>14} {0.301397:>10.4f} {23801.7:>12.1f} {215886:>14.0f}")
+    if study.application:
+        w = study.application.weibull
+        print(f"{'ours  applic':>14} {w.shape:>10.4f} {w.scale:>12.1f} {w.mean:>14.0f}")
+    print(f"MTTI/MTBF: ours {study.mtti_over_mtbf:.2f} | paper 4.07")
+
+    assert study.system is not None
+    assert study.system.weibull.shape < 1.0
+    assert study.system.weibull_preferred
+    if study.application is not None:
+        assert study.application.weibull.shape < 1.0
+        assert study.mtti_application > 0.5 * study.mtti_system

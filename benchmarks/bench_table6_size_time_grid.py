@@ -1,0 +1,51 @@
+"""Table VI: system interruptions vs total jobs by size × runtime.
+
+Shape criteria from the paper: interruption proportion rises ~linearly
+with size (column), but is *not* monotone in runtime (row) — the
+1600–6400 s bucket sits below the 400–1600 s bucket.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.core.vulnerability import vulnerability_study
+from repro.workload.tables import (
+    RUNTIME_BUCKETS,
+    SIZE_CLASSES,
+    TABLE_VI_INTERRUPTED,
+    TABLE_VI_TOTALS,
+)
+
+
+def test_table6_grid(benchmark, trace, analysis):
+    study = benchmark(
+        vulnerability_study,
+        trace.job_log,
+        analysis.interruptions,
+        analysis.events_final,
+    )
+    grid = study.grid
+    banner("TABLE VI: interruptions/jobs by size x runtime — ours (paper)")
+    for i, size in enumerate(SIZE_CLASSES):
+        cells = "  ".join(
+            f"{grid.interrupted[i, j]}/{grid.totals[i, j]}"
+            f" ({TABLE_VI_INTERRUPTED[i, j]}/{TABLE_VI_TOTALS[i, j]})"
+            for j in range(len(RUNTIME_BUCKETS))
+        )
+        print(f"{size:>3} mp: {cells}")
+    by_size = grid.proportion_by_size()
+    by_bucket = grid.proportion_by_bucket()
+    print("proportion by size  :", np.round(by_size, 5))
+    print("  paper              [0.0012 0.0018 0.0056 0.0080 0.0167 "
+          "0.0244 0.0 0.0528 0.1918]")
+    print("proportion by bucket:", np.round(by_bucket, 5))
+    print("  paper              [0.0048 0.0070 0.0006 0.0020]")
+
+    # column trend: wider sizes fail proportionally more
+    populated = grid.totals.sum(axis=1) >= 20
+    props = by_size[populated]
+    assert props[-1] > props[0], "widest class must out-fail the narrowest"
+    # row trend: NOT monotone in runtime — the long buckets sit below
+    # the 400-1600 s bucket (Obs. 10)
+    assert by_bucket[1] > by_bucket[2]
+    assert max(by_bucket[2], by_bucket[3]) < max(by_bucket[0], by_bucket[1])

@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every table/figure benchmark reuses one simulated trace and one finished
+co-analysis, built once per session. ``REPRO_BENCH_SCALE`` (default
+0.25) trades fidelity for wall-clock; at 1.0 the trace matches the
+paper's full volumes (Table I) and takes ~1 minute to generate.
+"""
+
+import os
+
+import pytest
+
+from repro.core import CoAnalysis
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return CalibrationProfile(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def trace(profile):
+    return IntrepidSimulation(profile).run()
+
+
+@pytest.fixture(scope="session")
+def analysis(trace):
+    return CoAnalysis().run(trace.ras_log, trace.job_log)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 70)
+    print(title, f"(scale={BENCH_SCALE}, seed={BENCH_SEED})")
+    print("=" * 70)

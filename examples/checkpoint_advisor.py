@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Checkpoint advisor: turn §VII's recommendations into policy.
+
+The paper's discussion section derives checkpointing guidance from the
+observations: application errors surface early (Obs. 11), so early
+checkpoints of never-before-successful codes are wasted; system-failure
+risk scales with job size (Obs. 10) and with the recency of the last
+failure on the allocation (decreasing hazard, Table IV), so wide jobs
+placed right after a failure deserve aggressive checkpointing.
+
+This example computes, from an analyzed trace:
+
+1. the empirical waste of checkpointing inside the first hour for codes
+   with an application-error history;
+2. a per-size recommended first-checkpoint time, using the fitted
+   Weibull's conditional interruption probability and Young's
+   approximation [13] on the category-1 MTTI.
+
+Usage::
+
+    python examples/checkpoint_advisor.py [--scale 0.2]
+"""
+
+import argparse
+import math
+
+import numpy as np
+
+from repro.core import CoAnalysis
+from repro.core.vulnerability import CATEGORY_APPLICATION
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+from repro.workload.tables import SIZE_CLASSES
+
+
+def young_interval(mtti_seconds: float, checkpoint_cost: float) -> float:
+    """Young's first-order optimal checkpoint interval [13]."""
+    return math.sqrt(2.0 * checkpoint_cost * mtti_seconds)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--checkpoint-cost", type=float, default=180.0,
+        help="seconds to write one checkpoint (default: 3 minutes)",
+    )
+    args = parser.parse_args()
+
+    trace = IntrepidSimulation(
+        CalibrationProfile(seed=args.seed, scale=args.scale)
+    ).run()
+    result = CoAnalysis().run(trace.ras_log, trace.job_log)
+
+    print("=" * 68)
+    print("CHECKPOINT ADVISOR (from co-analysis observations)")
+    print("=" * 68)
+
+    # --- 1. early-checkpoint waste for app-error-prone codes ----------
+    ints = result.interruptions
+    app = ints.filter(ints.mask_eq("category", CATEGORY_APPLICATION))
+    share = result.vulnerability.app_interruptions_first_hour_share
+    print(
+        f"\napplication errors observed: {app.num_rows}; "
+        f"{100 * share:.1f}% died inside the first hour (paper: 74.5%)."
+    )
+    print(
+        "-> for codes with an application-error history, defer the first\n"
+        "   checkpoint past the first hour: a checkpoint taken before the\n"
+        f"   bug fires is wasted in ~{100 * share:.0f}% of failing runs."
+    )
+
+    # --- 2. size-aware first-checkpoint schedule ----------------------
+    if result.rates.system is None:
+        print("\n(too few system interruptions at this scale for part 2)")
+        return
+    w = result.rates.system.weibull
+    mtti = w.mean
+    grid = result.vulnerability.grid
+    by_size = grid.proportion_by_size()
+    overall = max(grid.overall_proportion, 1e-9)
+
+    print(
+        f"\nfitted category-1 interruption Weibull: shape={w.shape:.3f}, "
+        f"MTTI={mtti / 3600:.1f} h (decreasing hazard: {w.decreasing_hazard})"
+    )
+    print(f"\n{'size(mp)':>9} {'rel. risk':>10} {'eff. MTTI':>12} "
+          f"{'Young interval':>15}")
+    for i, size in enumerate(SIZE_CLASSES):
+        if grid.totals[i].sum() == 0:
+            continue
+        rel = by_size[i] / overall if by_size[i] > 0 else 0.0
+        if rel <= 0:
+            print(f"{size:>9} {'~0':>10} {'-':>12} {'(skip)':>15}")
+            continue
+        eff_mtti = mtti / rel
+        interval = young_interval(eff_mtti, args.checkpoint_cost)
+        print(
+            f"{size:>9} {rel:>9.1f}x {eff_mtti / 3600:>10.1f} h "
+            f"{interval / 60:>11.0f} min"
+        )
+    print(
+        "\n-> wider jobs fail proportionally more (Obs. 10): their optimal\n"
+        "   checkpoint cadence is minutes, not hours, while midplane-scale\n"
+        "   jobs can checkpoint hourly or rely on resubmission."
+    )
+
+    # --- 3. post-failure placement warning ----------------------------
+    p_fresh = w.conditional_interruption_probability(0.0, 3600.0)
+    p_aged = w.conditional_interruption_probability(86400.0, 3600.0)
+    print(
+        f"\nP(interrupt in next hour | failure just happened) = {p_fresh:.2%}\n"
+        f"P(interrupt in next hour | quiet for a day)        = {p_aged:.2%}\n"
+        "-> jobs placed immediately after a failure on the same hardware\n"
+        "   should checkpoint immediately (Obs. 6/9's burst behaviour)."
+    )
+
+
+if __name__ == "__main__":
+    main()

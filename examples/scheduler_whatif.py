@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Scheduler what-if: does same-partition affinity amplify failures?
+
+Observation 3/9: Intrepid's scheduler put 57.4% of resubmitted jobs back
+on the partition that just killed them, feeding sticky breakages a
+steady diet of victims. This experiment reruns the *same* workload and
+fault environment under different affinity settings and measures:
+
+* job interruptions and job-related redundant events,
+* the category-1 resubmission risk at k = 1,
+* wasted node-seconds in interrupted runs.
+
+It is the §V (Discussion) "what should the scheduler do" question asked
+quantitatively — the kind of study the released logs were meant to
+enable.
+
+Usage::
+
+    python examples/scheduler_whatif.py [--scale 0.15]
+"""
+
+import argparse
+
+from repro.core import CoAnalysis
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+from dataclasses import replace
+
+
+def run_once(affinity: float, scale: float, seed: int) -> dict:
+    profile = CalibrationProfile(seed=seed, scale=scale, affinity=affinity)
+    trace = IntrepidSimulation(profile).run()
+    result = CoAnalysis().run(trace.ras_log, trace.job_log)
+    frame = result.interruptions
+    wasted = 0.0
+    if frame.num_rows:
+        wasted = float(
+            (
+                (frame["job_end"] - frame["job_start"])
+                * frame["size_midplanes"]
+            ).sum()
+        )
+    risk = result.vulnerability.risk_system
+    return {
+        "affinity": affinity,
+        "interrupted_jobs": result.num_interrupted_jobs,
+        "redundant_events": len(result.job_related_redundant_ids),
+        "k1_risk": risk.probability(1),
+        "k1_n": risk.counts[0][1],
+        "wasted_mp_hours": wasted / 3600.0,
+        "same_loc_share": result.same_location_resubmission_share,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument(
+        "--affinities", type=float, nargs="+",
+        default=[0.0, 0.3, 0.65, 1.0],
+    )
+    args = parser.parse_args()
+
+    print("=" * 76)
+    print("SCHEDULER WHAT-IF: same-partition resubmission affinity sweep")
+    print("=" * 76)
+    header = (
+        f"{'affinity':>9} {'same-loc%':>10} {'interrupts':>11} "
+        f"{'jr-redundant':>13} {'P(fail|k=1)':>12} {'wasted mp-h':>12}"
+    )
+    print(header)
+    rows = []
+    for affinity in args.affinities:
+        r = run_once(affinity, args.scale, args.seed)
+        rows.append(r)
+        print(
+            f"{r['affinity']:>9.2f} {100 * r['same_loc_share']:>9.1f}% "
+            f"{r['interrupted_jobs']:>11} {r['redundant_events']:>13} "
+            f"{100 * r['k1_risk']:>10.1f}%  {r['wasted_mp_hours']:>11.0f}"
+        )
+
+    base, top = rows[0], rows[-1]
+    print(
+        "\nreading: pinning retries to the failed partition "
+        f"(affinity {top['affinity']:.2f} vs {base['affinity']:.2f}) changes "
+        f"job interruptions {base['interrupted_jobs']} -> "
+        f"{top['interrupted_jobs']} and job-related redundancy "
+        f"{base['redundant_events']} -> {top['redundant_events']}."
+    )
+    print(
+        "A failure-aware scheduler (the paper's CiFTS direction, §VII)\n"
+        "that avoids the last-failed partition removes exactly the\n"
+        "temporal-propagation chains the job-related filter detects."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (the offline env lacks `wheel`,
+which PEP 660 editable builds require). Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

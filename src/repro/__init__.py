@@ -1,0 +1,34 @@
+"""repro — co-analysis of RAS logs and job logs on Blue Gene/P-class systems.
+
+Reproduction of Zheng et al., "Co-analysis of RAS Log and Job Log on
+Blue Gene/P" (IPDPS 2011). The package contains:
+
+* :mod:`repro.frame` — a numpy-backed columnar frame used by every
+  analysis stage (offline stand-in for pandas);
+* :mod:`repro.machine` — the Blue Gene/P machine model (locations,
+  topology, partitions) for the 40-rack Intrepid system;
+* :mod:`repro.stats` — Weibull/exponential fitting, likelihood-ratio
+  tests, empirical CDFs, correlation, and information-gain feature
+  ranking;
+* :mod:`repro.logs` — the RAS and Cobalt job log schemas with text io;
+* :mod:`repro.workload`, :mod:`repro.sched`, :mod:`repro.faults`,
+  :mod:`repro.simulate` — the trace simulator that stands in for the
+  (unreleased) 237-day Intrepid logs;
+* :mod:`repro.core` — the co-analysis methodology itself: filtering,
+  interruption matching, failure classification, and the analyses
+  behind the paper's 12 observations.
+
+Quickstart::
+
+    from repro.simulate import IntrepidSimulation, CalibrationProfile
+    from repro.core import CoAnalysis
+
+    sim = IntrepidSimulation(CalibrationProfile(seed=7, scale=0.1))
+    trace = sim.run()
+    result = CoAnalysis().run(trace.ras_log, trace.job_log)
+    print(result.report())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

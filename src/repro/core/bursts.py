@@ -1,0 +1,86 @@
+"""Burst behaviour of job interruptions (§VI-A, Figure 5)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import Frame
+
+
+@dataclass(frozen=True)
+class BurstStudy:
+    """Figure 5's series plus Observation 6's burst statistics."""
+
+    #: interruptions per day over the trace window
+    per_day: np.ndarray
+    #: interruptions arriving within `quick_window` of the previous one
+    quick_successions: int
+    quick_window: float
+    #: per-executable maximum consecutive-interruption chain length
+    max_chain_per_executable: int
+    #: most jobs killed by one (errcode, midplane) kill chain
+    max_jobs_per_location_chain: int
+
+    @property
+    def days_with_interruptions(self) -> int:
+        return int((self.per_day > 0).sum())
+
+    @property
+    def max_per_day(self) -> int:
+        return int(self.per_day.max()) if len(self.per_day) else 0
+
+    @property
+    def burstiness(self) -> float:
+        """Index of dispersion of the daily counts (>1 = bursty)."""
+        if len(self.per_day) == 0 or self.per_day.mean() == 0:
+            return 0.0
+        return float(self.per_day.var() / self.per_day.mean())
+
+
+def burst_study(
+    interruptions: Frame,
+    t_start: float,
+    duration: float,
+    quick_window: float = 1000.0,
+) -> BurstStudy:
+    """Compute Figure 5 and the §VI-A burst numbers.
+
+    *interruptions* is the matcher's one-row-per-job table.
+    """
+    n_days = max(1, int(np.ceil(duration / 86400.0)))
+    per_day = np.zeros(n_days, dtype=np.int64)
+    if interruptions.num_rows:
+        days = ((interruptions["event_time"] - t_start) // 86400.0).astype(int)
+        days = np.clip(days, 0, n_days - 1)
+        np.add.at(per_day, days, 1)
+
+    times = np.sort(interruptions["event_time"]) if interruptions.num_rows else np.array([])
+    quick = int((np.diff(times) <= quick_window).sum()) if len(times) > 1 else 0
+
+    chains: dict[str, int] = defaultdict(int)
+    best_chain = 0
+    if interruptions.num_rows:
+        ordered = interruptions.sort_by("event_time")
+        last_seen: dict[str, float] = {}
+        for exe, t in zip(ordered["executable"], ordered["event_time"]):
+            chains[exe] += 1
+            best_chain = max(best_chain, chains[exe])
+            last_seen[exe] = t
+
+    loc_chains: dict[tuple[str, int], int] = defaultdict(int)
+    best_loc = 0
+    for r in interruptions.to_rows():
+        key = (r["errcode"], int(r["mp"]))
+        loc_chains[key] += 1
+        best_loc = max(best_loc, loc_chains[key])
+
+    return BurstStudy(
+        per_day=per_day,
+        quick_successions=quick,
+        quick_window=quick_window,
+        max_chain_per_executable=best_chain,
+        max_jobs_per_location_chain=best_loc,
+    )

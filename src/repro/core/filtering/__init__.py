@@ -1,0 +1,22 @@
+"""Filtering stages for FATAL RAS records.
+
+Three record-level filters (temporal, spatial, causality-related) are
+prior art the paper builds on; the job-related filter is its
+contribution and runs after interruption matching because it needs to
+know which jobs each event killed.
+"""
+
+from repro.core.filtering.temporal import TemporalFilter
+from repro.core.filtering.spatial import SpatialFilter
+from repro.core.filtering.causal import CausalityFilter
+from repro.core.filtering.job_related import JobRelatedFilter
+from repro.core.filtering.chain import FilterChain, FilterStats
+
+__all__ = [
+    "TemporalFilter",
+    "SpatialFilter",
+    "CausalityFilter",
+    "JobRelatedFilter",
+    "FilterChain",
+    "FilterStats",
+]

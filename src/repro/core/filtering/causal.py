@@ -1,0 +1,85 @@
+"""Causality-related filtering (ref. [7], the authors' DSN'09 method).
+
+Some fatal types habitually fire *because* another type just fired (a
+kernel panic drags torus retransmission failures behind it). Such
+follower events are not independent failures and should be filtered with
+their trigger. The filter mines frequent (trigger → follower) pairs
+from the event stream itself and removes follower events that appear
+inside a trigger's window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.events import FatalEventTable
+
+
+@dataclass(frozen=True)
+class CausalRule:
+    """A mined trigger → follower association."""
+
+    trigger: str
+    follower: str
+    support: int
+    confidence: float
+
+
+@dataclass
+class CausalityFilter:
+    """Mines co-occurrence rules, then filters follower events.
+
+    A pair (A → B) becomes a rule when B followed A within ``window``
+    seconds at least ``min_support`` times, and that happened in at
+    least ``min_confidence`` of all B occurrences.
+    """
+
+    window: float = 120.0
+    min_support: int = 3
+    min_confidence: float = 0.5
+    rules: list[CausalRule] = field(default_factory=list)
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        """Learn rules on *events* and drop follower occurrences."""
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            self.rules = []
+            return FatalEventTable(frame)
+        times = frame["event_time"]
+        types = frame["errcode"]
+
+        pair_counts: Counter[tuple[str, str]] = Counter()
+        type_counts: Counter[str] = Counter()
+        preceded_by: list[set[str]] = []
+        start = 0
+        for j in range(n):
+            t, b = times[j], types[j]
+            type_counts[b] += 1
+            while times[start] < t - self.window:
+                start += 1
+            preceding = {
+                types[i] for i in range(start, j) if types[i] != b
+            }
+            preceded_by.append(preceding)
+            for a in preceding:
+                pair_counts[(a, b)] += 1
+
+        self.rules = [
+            CausalRule(a, b, c, c / type_counts[b])
+            for (a, b), c in sorted(pair_counts.items())
+            if c >= self.min_support and c / type_counts[b] >= self.min_confidence
+        ]
+        followers: dict[str, set[str]] = defaultdict(set)
+        for r in self.rules:
+            followers[r.follower].add(r.trigger)
+
+        keep = np.ones(n, dtype=bool)
+        for j in range(n):
+            trig = followers.get(types[j])
+            if trig and preceded_by[j] & trig:
+                keep[j] = False
+        return FatalEventTable(frame.filter(keep))

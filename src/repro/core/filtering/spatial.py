@@ -1,0 +1,42 @@
+"""Spatial filtering (refs. [12], [9]).
+
+Removes the same ERRCODE reported from *different* locations within a
+threshold — the fan-out a parallel job produces when every allocated
+node reports the same fault (§VI-C). Chain semantics over the type's
+time-ordered stream, location-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import FatalEventTable
+from repro.frame.column import factorize
+
+
+@dataclass(frozen=True)
+class SpatialFilter:
+    """Chain-collapse duplicates of one type across locations."""
+
+    threshold: float = 300.0
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            return FatalEventTable(frame)
+        codes, _ = factorize(frame["errcode"])
+        times = frame["event_time"]
+        keep = np.ones(n, dtype=bool)
+        last_time: dict[int, float] = {}
+        order = np.lexsort((times, codes))
+        for idx in order:
+            g = codes[idx]
+            t = times[idx]
+            prev = last_time.get(g)
+            if prev is not None and t - prev <= self.threshold:
+                keep[idx] = False
+            last_time[g] = t
+        return FatalEventTable(frame.filter(keep))

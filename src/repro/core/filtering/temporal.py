@@ -1,0 +1,49 @@
+"""Temporal filtering (refs. [12], [9]).
+
+Removes repeated reports of the same ERRCODE from the same LOCATION:
+within a (errcode, location) stream, any event closer than ``threshold``
+seconds to its predecessor is redundant, chain-wise — the classic
+constant-threshold temporal filter of Liang et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import FatalEventTable
+from repro.frame.column import factorize_many
+
+
+@dataclass(frozen=True)
+class TemporalFilter:
+    """Chain-collapse duplicates at one location."""
+
+    threshold: float = 300.0
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        """Events surviving the filter (first of every chain)."""
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            return FatalEventTable(frame)
+        codes, _ = factorize_many([frame["errcode"], frame["location"]])
+        times = frame["event_time"]
+        keep = np.ones(n, dtype=bool)
+        # For each group, walk its chain: an event is dropped when it is
+        # within threshold of the previous *kept* event of the group.
+        order = np.lexsort((times, codes))
+        last_kept_time: dict[int, float] = {}
+        for idx in order:
+            g = codes[idx]
+            t = times[idx]
+            prev = last_kept_time.get(g)
+            if prev is not None and t - prev <= self.threshold:
+                keep[idx] = False
+                # chain semantics: the *dropped* event still extends the
+                # suppression window
+                last_kept_time[g] = t
+            else:
+                last_kept_time[g] = t
+        return FatalEventTable(frame.filter(keep))

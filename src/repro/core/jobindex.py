@@ -1,0 +1,61 @@
+"""Shared per-midplane index of successfully completed job runs.
+
+Used by the job-related filter (was a clean run executed between two
+kills at the same location?) and by the classifier's Figure 2 check
+(did the old location run jobs unharmed after the suspect moved on?).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logs.job import JobLog
+from repro.machine.partition import parse_partition
+from repro.machine.topology import NUM_MIDPLANES
+
+
+class CompletedRunIndex:
+    """Sorted (start, end) intervals of clean runs per midplane."""
+
+    def __init__(self, job_log: JobLog, interrupted_job_ids: set):
+        frame = job_log.frame
+        interrupted = frame.mask_isin("job_id", list(interrupted_job_ids))
+        clean = frame.filter(~interrupted)
+        per_mp_starts: list[list[float]] = [[] for _ in range(NUM_MIDPLANES)]
+        per_mp_ends: list[list[float]] = [[] for _ in range(NUM_MIDPLANES)]
+        for loc, start, end in zip(
+            clean["location"], clean["start_time"], clean["end_time"]
+        ):
+            partition = parse_partition(loc)
+            for mp in partition.midplane_indices:
+                per_mp_starts[mp].append(start)
+                per_mp_ends[mp].append(end)
+        self._starts: list[np.ndarray] = []
+        self._ends: list[np.ndarray] = []
+        for mp in range(NUM_MIDPLANES):
+            order = np.argsort(np.asarray(per_mp_starts[mp]))
+            self._starts.append(np.asarray(per_mp_starts[mp])[order])
+            self._ends.append(np.asarray(per_mp_ends[mp])[order])
+
+    def any_between(self, midplane: int, t1: float, t2: float) -> bool:
+        """Did any clean run both start and finish inside (t1, t2)?"""
+        starts = self._starts[midplane]
+        ends = self._ends[midplane]
+        lo = np.searchsorted(starts, t1, side="right")
+        hi = np.searchsorted(starts, t2, side="left")
+        if lo >= hi:
+            return False
+        return bool((ends[lo:hi] <= t2).any())
+
+    def any_overlapping(self, midplane: int, t1: float, t2: float) -> bool:
+        """Was any clean run active on the midplane during (t1, t2)?
+
+        The Figure 2 condition: a job occupying the suspect's old
+        location during the window, unharmed.
+        """
+        starts = self._starts[midplane]
+        ends = self._ends[midplane]
+        hi = np.searchsorted(starts, t2, side="left")
+        if hi == 0:
+            return False
+        return bool((ends[:hi] > t1).any())

@@ -1,0 +1,311 @@
+"""The paper's twelve observations, recomputed from the analyzed logs.
+
+Each observation carries the measured quantities, the paper's reported
+values for EXPERIMENTS.md, and a ``holds`` verdict testing the *shape*
+claim (who wins, directions, orders of magnitude) rather than the exact
+numbers — the substrate is a simulator, not the Intrepid floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import CoAnalysisResult
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One numbered observation with its evidence."""
+
+    number: int
+    title: str
+    holds: bool
+    measured: dict[str, Any] = field(default_factory=dict)
+    paper: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else "DIVERGES"
+        parts = ", ".join(f"{k}={_fmt(v)}" for k, v in self.measured.items())
+        return f"Obs.{self.number:>2} [{verdict}] {self.title}: {parts}"
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def compute_observations(result: "CoAnalysisResult") -> list[Observation]:
+    """All twelve observations from a finished co-analysis."""
+    out = [
+        _obs1(result), _obs2(result), _obs3(result), _obs4(result),
+        _obs5(result), _obs6(result), _obs7(result), _obs8(result),
+        _obs9(result), _obs10(result), _obs11(result), _obs12(result),
+    ]
+    return out
+
+
+def _obs1(r: "CoAnalysisResult") -> Observation:
+    nonfatal_types = set(r.identification.nonfatal_types())
+    ev = r.events_filtered.frame
+    if ev.num_rows:
+        share = float(ev.mask_isin("errcode", nonfatal_types).mean())
+    else:
+        share = 0.0
+    return Observation(
+        number=1,
+        title="some FATAL-labelled events never impact jobs",
+        holds=len(nonfatal_types) > 0 and share > 0.02,
+        measured={
+            "nonfatal_types": len(nonfatal_types),
+            "share_of_fatal_events": share,
+        },
+        paper={"share_of_fatal_events": 0.2084},
+    )
+
+
+def _obs2(r: "CoAnalysisResult") -> Observation:
+    n_sys = len(r.classification.system_types())
+    n_app = len(r.classification.application_types())
+    ev = r.events_filtered.frame
+    app_share = (
+        float(ev.mask_isin("errcode", set(r.classification.application_types())).mean())
+        if ev.num_rows
+        else 0.0
+    )
+    return Observation(
+        number=2,
+        title="co-analysis separates system failures from application errors",
+        holds=n_sys > n_app > 0,
+        measured={
+            "system_types": n_sys,
+            "application_types": n_app,
+            "application_event_share": app_share,
+        },
+        paper={"system_types": 72, "application_types": 8,
+               "application_event_share": 0.1773},
+    )
+
+
+def _obs3(r: "CoAnalysisResult") -> Observation:
+    n_redundant = len(r.job_related_redundant_ids)
+    base = len(r.events_filtered)
+    ratio = n_redundant / base if base else 0.0
+    return Observation(
+        number=3,
+        title="job-related redundancy is not negligible",
+        holds=n_redundant > 0,
+        measured={
+            "redundant_events": n_redundant,
+            "compression_ratio": ratio,
+            "same_location_resubmission_share": r.same_location_resubmission_share,
+        },
+        paper={"compression_ratio": 0.131,
+               "same_location_resubmission_share": 0.574},
+    )
+
+
+def _obs4(r: "CoAnalysisResult") -> Observation:
+    """Direction criterion: Weibull preferred on both streams, shapes
+    below 1, and the fitted MTBF rising materially (>10%) once the
+    job-related redundant records are removed. The paper's magnitude
+    (3.7x) is far stronger — see EXPERIMENTS.md for the discussion of
+    why the simulated redundancy shifts the fit less than Intrepid's."""
+    ia = r.interarrivals
+    if ia.before is None or ia.after is None:
+        return Observation(
+            number=4,
+            title="Weibull fits; job-related filtering changes the parameters",
+            holds=False,
+            measured={"note": "insufficient events for a fit"},
+            paper={"shape_before": 0.387, "shape_after": 0.573,
+                   "mtbf_ratio": 3.7},
+        )
+    return Observation(
+        number=4,
+        title="Weibull fits; job-related filtering changes the parameters",
+        holds=(
+            ia.before.weibull_preferred
+            and ia.after.weibull_preferred
+            and ia.before.weibull.shape < 1.0
+            and ia.mtbf_ratio > 1.10
+        ),
+        measured={
+            "shape_before": ia.before.weibull.shape,
+            "shape_after": ia.after.weibull.shape,
+            "mtbf_ratio": ia.mtbf_ratio,
+        },
+        paper={"shape_before": 0.387, "shape_after": 0.573, "mtbf_ratio": 3.7},
+    )
+
+
+def _obs5(r: "CoAnalysisResult") -> Observation:
+    s = r.skew
+    return Observation(
+        number=5,
+        title="wide-job workload, not total workload, drives failure rate",
+        holds=(
+            s.wide_region_event_share > s.wide_region_total_workload_share
+            and s.wide_region_wide_workload_share
+            > s.wide_region_total_workload_share
+        ),
+        measured={
+            "wide_region_event_share": s.wide_region_event_share,
+            "wide_region_wide_workload_share": s.wide_region_wide_workload_share,
+            "wide_region_total_workload_share": s.wide_region_total_workload_share,
+            "top_failure_midplanes": s.top_failure_midplanes,
+        },
+        paper={"top_failure_midplanes": (57, 60, 59)},  # 58/61/60, 1-based
+    )
+
+
+def _obs6(r: "CoAnalysisResult") -> Observation:
+    b = r.bursts
+    interrupted_share = (
+        r.interruptions.num_rows / r.num_jobs if r.num_jobs else 0.0
+    )
+    return Observation(
+        number=6,
+        title="interruptions are rare but bursty",
+        holds=interrupted_share < 0.05 and b.burstiness > 1.0,
+        measured={
+            "interrupted_job_share": interrupted_share,
+            "burstiness": b.burstiness,
+            "quick_successions": b.quick_successions,
+            "max_location_chain": b.max_jobs_per_location_chain,
+        },
+        paper={"interrupted_job_share": 0.0045, "quick_successions": 33,
+               "max_location_chain": 28},
+    )
+
+
+def _obs7(r: "CoAnalysisResult") -> Observation:
+    from repro.core.matching import CASE_IDLE
+
+    idle_share = r.match.case_share(CASE_IDLE)
+    return Observation(
+        number=7,
+        title="interruption rate is far below failure rate (idle hardware)",
+        holds=r.rates.mtti_over_mtbf > 1.5 and idle_share > 0.2,
+        measured={
+            "mtti_over_mtbf": r.rates.mtti_over_mtbf,
+            "idle_event_share": idle_share,
+        },
+        paper={"mtti_over_mtbf": 4.07, "idle_event_share": 0.4545},
+    )
+
+
+def _obs8(r: "CoAnalysisResult") -> Observation:
+    p = r.propagation
+    return Observation(
+        number=8,
+        title="spatial propagation is rare and file-system borne",
+        holds=p.share_of_fatal_events < 0.15,
+        measured={
+            "propagating_event_share": p.share_of_fatal_events,
+            "propagating_types": p.propagating_types,
+        },
+        paper={
+            "propagating_event_share": 0.0722,
+            "propagating_types": ("CiodHungProxy", "bg_code_script_error"),
+        },
+    )
+
+
+def _obs9(r: "CoAnalysisResult") -> Observation:
+    app = r.vulnerability.risk_application.probabilities()
+    sys_ = r.vulnerability.risk_system.probabilities()
+    app_monotone = all(b >= a - 0.05 for a, b in zip(app, app[1:]))
+    return Observation(
+        number=9,
+        title="interruption history predicts resubmission risk",
+        holds=(max(app) > 0.2 or max(sys_) > 0.2),
+        measured={
+            "p_system_by_k": [round(p, 3) for p in sys_],
+            "p_application_by_k": [round(p, 3) for p in app],
+            "application_monotone": app_monotone,
+        },
+        paper={"p_system_k2": 0.53, "p_application_k3": 0.60},
+    )
+
+
+def _obs10(r: "CoAnalysisResult") -> Observation:
+    by_size = r.vulnerability.grid.proportion_by_size()
+    by_bucket = r.vulnerability.grid.proportion_by_bucket()
+    sizes_with_jobs = r.vulnerability.grid.totals.sum(axis=1) > 0
+    x = np.flatnonzero(sizes_with_jobs)
+    if len(x) > 2 and np.ptp(by_size[sizes_with_jobs]) > 0:
+        with np.errstate(invalid="ignore"):
+            size_trend = float(np.corrcoef(x, by_size[sizes_with_jobs])[0, 1])
+        size_trend = 0.0 if np.isnan(size_trend) else size_trend
+    else:
+        size_trend = 0.0
+    bucket_monotone = all(
+        b >= a for a, b in zip(by_bucket, by_bucket[1:])
+    )
+    top_feature = (
+        r.vulnerability.ranking_system[0].name
+        if r.vulnerability.ranking_system
+        else ""
+    )
+    return Observation(
+        number=10,
+        title="size, not execution time, drives system-failure vulnerability",
+        holds=size_trend > 0.3 and not bucket_monotone
+        and top_feature in ("size", "location"),
+        measured={
+            "size_trend_corr": size_trend,
+            "proportion_by_bucket": [round(float(p), 5) for p in by_bucket],
+            "top_feature_system": top_feature,
+        },
+        paper={
+            "proportion_by_bucket": [0.0048, 0.0070, 0.0006, 0.0020],
+            "top_feature_system": "size",
+        },
+    )
+
+
+def _obs11(r: "CoAnalysisResult") -> Observation:
+    share = r.vulnerability.app_interruptions_first_hour_share
+    return Observation(
+        number=11,
+        title="application errors surface in the first hour",
+        holds=share > 0.6,
+        measured={
+            "first_hour_share": share,
+            "large_long_app_interruptions":
+                r.vulnerability.app_interruptions_large_long,
+        },
+        paper={"first_hour_share": 0.745, "large_long_app_interruptions": 0},
+    )
+
+
+def _obs12(r: "CoAnalysisResult") -> Observation:
+    v = r.vulnerability
+    return Observation(
+        number=12,
+        title="suspicious users matter in absolute, not relative, terms",
+        holds=(
+            v.suspicious_user_share >= 0.4
+            and v.max_suspicious_user_failure_rate < 0.2
+        ),
+        measured={
+            "suspicious_users": len(v.suspicious_users),
+            "suspicious_user_share": v.suspicious_user_share,
+            "suspicious_projects": len(v.suspicious_projects),
+            "suspicious_project_share": v.suspicious_project_share,
+            "max_suspicious_user_failure_rate":
+                v.max_suspicious_user_failure_rate,
+        },
+        paper={
+            "suspicious_users": 16,
+            "suspicious_user_share": 0.5325,
+            "suspicious_projects": 19,
+            "suspicious_project_share": 0.74,
+            "max_suspicious_user_failure_rate": 0.01,
+        },
+    )

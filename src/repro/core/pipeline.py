@@ -1,0 +1,259 @@
+"""The one-call co-analysis orchestration (Figure 1, end to end)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bursts import BurstStudy, burst_study
+from repro.core.characteristics import (
+    InterarrivalStudy,
+    MidplaneSkewSummary,
+    interarrival_study,
+    midplane_profile,
+    midplane_skew,
+)
+from repro.core.classify import ClassificationResult, FailureClassifier
+from repro.core.events import FatalEventTable, fatal_event_table
+from repro.core.filtering import FilterChain, JobRelatedFilter
+from repro.core.filtering.chain import FilterStats
+from repro.core.identify import EventTypeIdentifier, IdentificationResult
+from repro.core.matching import InterruptionMatcher, MatchResult
+from repro.core.observations import Observation, compute_observations
+from repro.core.propagation import PropagationStudy, propagation_study
+from repro.core.rates import InterruptionRateStudy, interruption_rate_study
+from repro.core.vulnerability import (
+    VulnerabilityStudy,
+    categorize_interruptions,
+    vulnerability_study,
+)
+from repro.frame import Frame
+from repro.logs.job import JobLog
+from repro.logs.ras import RasLog
+
+
+@dataclass
+class CoAnalysisResult:
+    """Everything the co-analysis produced, ready for reporting."""
+
+    # pipeline products
+    filter_stats: FilterStats
+    events_filtered: FatalEventTable
+    events_final: FatalEventTable
+    match: MatchResult
+    identification: IdentificationResult
+    classification: ClassificationResult
+    job_related_redundant_ids: set[int]
+    interruptions: Frame  # per-job, categorized
+
+    # studies
+    interarrivals: InterarrivalStudy
+    rates: InterruptionRateStudy
+    midplane_profile: Frame
+    skew: MidplaneSkewSummary
+    bursts: BurstStudy
+    propagation: PropagationStudy
+    vulnerability: VulnerabilityStudy
+
+    # context
+    num_jobs: int
+    num_distinct_jobs: int
+    t_start: float
+    duration: float
+    same_location_resubmission_share: float
+
+    observations: list[Observation] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_interrupted_jobs(self) -> int:
+        return self.interruptions.num_rows
+
+    def num_interrupted_distinct_jobs(self) -> int:
+        if not self.interruptions.num_rows:
+            return 0
+        return self.interruptions.nunique("executable")
+
+    def interruptions_by_category(self) -> dict[int, int]:
+        if not self.interruptions.num_rows:
+            return {1: 0, 2: 0}
+        vc = self.interruptions.value_counts("category")
+        out = {1: 0, 2: 0}
+        for cat, count in zip(vc["category"], vc["count"]):
+            out[int(cat)] = int(count)
+        return out
+
+    def observation(self, number: int) -> Observation:
+        for obs in self.observations:
+            if obs.number == number:
+                return obs
+        raise KeyError(f"no observation {number}")
+
+    def report(self) -> str:
+        from repro.core.report import render_report
+
+        return render_report(self)
+
+
+@dataclass
+class CoAnalysis:
+    """Configurable pipeline front end.
+
+    Every stage is injectable for ablation studies; the defaults follow
+    the paper's choices (constant-threshold temporal-spatial filtering,
+    causality mining per [7], 60 s matching tolerance).
+    """
+
+    filters: FilterChain = field(default_factory=FilterChain)
+    matcher: InterruptionMatcher = field(default_factory=InterruptionMatcher)
+    identifier: EventTypeIdentifier = field(default_factory=EventTypeIdentifier)
+    classifier: FailureClassifier = field(default_factory=FailureClassifier)
+    job_filter: JobRelatedFilter = field(default_factory=JobRelatedFilter)
+    compute_observations_flag: bool = True
+
+    def run(self, ras_log: RasLog, job_log: JobLog) -> CoAnalysisResult:
+        """Run the full co-analysis over one (RAS log, job log) pair."""
+        events_raw = fatal_event_table(ras_log)
+        events_filtered = self.filters.apply(events_raw)
+        assert self.filters.stats is not None
+
+        match = self.matcher.match(
+            events_filtered, job_log, raw_events=self.filters.temporal_table
+        )
+        identification = self.identifier.identify(match.type_cases)
+        from repro.core.jobindex import CompletedRunIndex
+
+        clean_runs = CompletedRunIndex(
+            job_log, set(int(j) for j in match.interrupted_job_ids())
+        )
+        classification = self.classifier.classify(
+            events_filtered,
+            match.pairs,
+            match.type_cases,
+            nonfatal_types=set(identification.nonfatal_types()),
+            clean_runs=clean_runs,
+        )
+        event_rows = _first_job_per_event(match.pairs)
+        redundant = self.job_filter.redundant_ids(
+            event_rows, job_log, classification.origins, clean_runs=clean_runs
+        )
+        events_final = events_filtered.drop_ids(redundant)
+
+        interruptions = categorize_interruptions(match.interruptions, classification)
+
+        interarrivals = interarrival_study(events_filtered, events_final)
+        mtbf = (
+            interarrivals.after.weibull.mean
+            if interarrivals.after is not None
+            else float("nan")
+        )
+        rates = interruption_rate_study(interruptions, mtbf=mtbf)
+        profile = midplane_profile(events_final, job_log)
+        skew = midplane_skew(profile)
+
+        t_start, duration = _window(ras_log, job_log)
+        bursts = burst_study(interruptions, t_start, duration)
+        propagation = propagation_study(match.pairs, len(events_filtered))
+        vulnerability = vulnerability_study(job_log, interruptions, events_final)
+
+        result = CoAnalysisResult(
+            filter_stats=self.filters.stats,
+            events_filtered=events_filtered,
+            events_final=events_final,
+            match=match,
+            identification=identification,
+            classification=classification,
+            job_related_redundant_ids=redundant,
+            interruptions=interruptions,
+            interarrivals=interarrivals,
+            rates=rates,
+            midplane_profile=profile,
+            skew=skew,
+            bursts=bursts,
+            propagation=propagation,
+            vulnerability=vulnerability,
+            num_jobs=job_log.num_jobs,
+            num_distinct_jobs=job_log.num_distinct_jobs(),
+            t_start=t_start,
+            duration=duration,
+            same_location_resubmission_share=_same_location_share(
+                job_log, interruptions
+            ),
+        )
+        if self.compute_observations_flag:
+            result.observations = compute_observations(result)
+        return result
+
+
+def _first_job_per_event(pairs: Frame) -> Frame:
+    """One row per interrupting event (its earliest job), for the
+    job-related filter."""
+    if pairs.num_rows == 0:
+        return pairs
+    ordered = pairs.sort_by("event_time", "job_id")
+    seen: set[int] = set()
+    keep = np.zeros(ordered.num_rows, dtype=bool)
+    for i, eid in enumerate(ordered["event_id"]):
+        if int(eid) not in seen:
+            seen.add(int(eid))
+            keep[i] = True
+    return ordered.filter(keep)
+
+
+def _window(ras_log: RasLog, job_log: JobLog) -> tuple[float, float]:
+    t0s, t1s = [], []
+    if len(ras_log):
+        a, b = ras_log.time_span()
+        t0s.append(a)
+        t1s.append(b)
+    if len(job_log):
+        a, b = job_log.time_span()
+        t0s.append(a)
+        t1s.append(b)
+    if not t0s:
+        return 0.0, 0.0
+    t0, t1 = min(t0s), max(t1s)
+    return t0, max(t1 - t0, 1.0)
+
+
+def _same_location_share(job_log: JobLog, interruptions: Frame) -> float:
+    """Of jobs resubmitted after an interruption, the share landing on
+    the same partition (Obs. 3's 57.4%)."""
+    if interruptions.num_rows == 0:
+        return 0.0
+    interrupted = {
+        (r["executable"], float(r["job_end"])): r["job_location"]
+        for r in interruptions.to_rows()
+    }
+    interrupted_ends: dict[str, list[tuple[float, str]]] = {}
+    for (exe, end), loc in interrupted.items():
+        interrupted_ends.setdefault(exe, []).append((end, loc))
+    for lst in interrupted_ends.values():
+        lst.sort()
+
+    jobs = job_log.frame.sort_by("start_time", "job_id")
+    same = total = 0
+    for exe, start, loc in zip(
+        jobs["executable"], jobs["start_time"], jobs["location"]
+    ):
+        history = interrupted_ends.get(exe)
+        if not history:
+            continue
+        # the most recent interruption of this executable before start
+        prev = None
+        for end, ploc in history:
+            if end <= start:
+                prev = (end, ploc)
+            else:
+                break
+        if prev is None:
+            continue
+        # count only prompt resubmissions (within a day) as retries
+        if start - prev[0] > 86400.0:
+            continue
+        total += 1
+        if loc == prev[1]:
+            same += 1
+    return same / total if total else 0.0

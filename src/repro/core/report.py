@@ -1,0 +1,219 @@
+"""Text rendering of co-analysis results: tables and ASCII figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.vulnerability import CATEGORY_APPLICATION, CATEGORY_SYSTEM
+from repro.workload.tables import RUNTIME_BUCKETS, SIZE_CLASSES
+
+
+def render_report(result) -> str:
+    """A full human-readable report over a :class:`CoAnalysisResult`."""
+    sections = [
+        _header(result),
+        _filtering_section(result),
+        _identification_section(result),
+        _classification_section(result),
+        _table4(result),
+        _table5(result),
+        _table6(result),
+        _figure4(result),
+        _figure5(result),
+        _figure7(result),
+        _observations_section(result),
+    ]
+    return "\n\n".join(sections)
+
+
+def _header(r) -> str:
+    days = r.duration / 86400.0
+    cats = r.interruptions_by_category()
+    return "\n".join(
+        [
+            "=" * 72,
+            "CO-ANALYSIS OF RAS LOG AND JOB LOG",
+            "=" * 72,
+            f"window: {days:.0f} days | jobs: {r.num_jobs}"
+            f" (distinct: {r.num_distinct_jobs})",
+            f"interrupted jobs: {r.num_interrupted_jobs}"
+            f" (distinct: {r.num_interrupted_distinct_jobs()})"
+            f" | system: {cats[CATEGORY_SYSTEM]}"
+            f" | application: {cats[CATEGORY_APPLICATION]}",
+        ]
+    )
+
+
+def _filtering_section(r) -> str:
+    s = r.filter_stats
+    jr = len(r.job_related_redundant_ids)
+    return "\n".join(
+        [
+            "-- Filtering (SIV) " + "-" * 40,
+            f"raw FATAL records:        {s.raw}",
+            f"after temporal filter:    {s.after_temporal}",
+            f"after spatial filter:     {s.after_spatial}",
+            f"after causality filter:   {s.after_causal}"
+            f"  (compression {100 * s.compression_ratio:.2f}%)",
+            f"job-related redundant:    {jr}"
+            f"  (further {100 * jr / max(1, s.after_causal):.1f}%)",
+            f"independent fatal events: {len(r.events_final)}",
+        ]
+    )
+
+
+def _identification_section(r) -> str:
+    from repro.core.identify import TypeBehavior
+
+    ident = r.identification
+    return "\n".join(
+        [
+            "-- Interruption-related fatal events (SIV-A) " + "-" * 14,
+            f"interruption-related types: "
+            f"{ident.count(TypeBehavior.INTERRUPTION_RELATED)}",
+            f"non-fatal types:            {ident.count(TypeBehavior.NONFATAL)}"
+            f"  ({', '.join(ident.nonfatal_types()) or 'none'})",
+            f"undetermined (idle) types:  "
+            f"{ident.count(TypeBehavior.UNDETERMINED_IDLE)}",
+            f"undetermined (mixed) types: "
+            f"{ident.count(TypeBehavior.UNDETERMINED_MIXED)}",
+        ]
+    )
+
+
+def _classification_section(r) -> str:
+    c = r.classification
+    return "\n".join(
+        [
+            "-- System failures vs application errors (SIV-B) " + "-" * 10,
+            f"system failure types:     {len(c.system_types())}",
+            f"application error types:  {len(c.application_types())}"
+            f"  ({', '.join(c.application_types()) or 'none'})",
+        ]
+    )
+
+
+def _fit_row(label: str, cmp) -> str:
+    if cmp is None:
+        return f"{label:<28} (insufficient data)"
+    w = cmp.weibull
+    return (
+        f"{label:<28} shape={w.shape:<10.6g} scale={w.scale:<12.6g}"
+        f" mean={w.mean:<12.6g} var={w.variance:.6g}"
+    )
+
+
+def _table4(r) -> str:
+    ia = r.interarrivals
+    return "\n".join(
+        [
+            "-- Table IV: fatal interarrival Weibull fits " + "-" * 14,
+            _fit_row("before job-related filter", ia.before),
+            _fit_row("after job-related filter", ia.after),
+            f"MTBF ratio (after/before): {ia.mtbf_ratio:.2f}"
+            " | LRT prefers Weibull: "
+            f"{ia.after.weibull_preferred if ia.after else 'n/a'}",
+        ]
+    )
+
+
+def _table5(r) -> str:
+    return "\n".join(
+        [
+            "-- Table V: interruption interarrival Weibull fits " + "-" * 8,
+            _fit_row("system failures", r.rates.system),
+            _fit_row("application errors", r.rates.application),
+            f"MTTI/MTBF: {r.rates.mtti_over_mtbf:.2f}",
+        ]
+    )
+
+
+def _table6(r) -> str:
+    grid = r.vulnerability.grid
+    lines = ["-- Table VI: system interruptions / jobs by size x time " + "-" * 2]
+    header = f"{'midplanes':>10} |" + "".join(
+        f" {f'{int(lo)}-{int(hi)}s':>16}" for lo, hi in RUNTIME_BUCKETS
+    ) + f" {'proportion':>12}"
+    lines.append(header)
+    by_size = grid.proportion_by_size()
+    for i, size in enumerate(SIZE_CLASSES):
+        cells = "".join(
+            f" {grid.interrupted[i, j]:>6}/{grid.totals[i, j]:<9}"
+            for j in range(len(RUNTIME_BUCKETS))
+        )
+        lines.append(f"{size:>10} |{cells} {100 * by_size[i]:>11.2f}%")
+    col = "".join(
+        f" {grid.interrupted[:, j].sum():>6}/{grid.totals[:, j].sum():<9}"
+        for j in range(len(RUNTIME_BUCKETS))
+    )
+    lines.append(f"{'sum':>10} |{col} {100 * grid.overall_proportion:>11.2f}%")
+    return "\n".join(lines)
+
+
+def _bar(value: float, vmax: float, width: int = 40) -> str:
+    if vmax <= 0:
+        return ""
+    return "#" * max(0, int(round(width * value / vmax)))
+
+
+def _figure4(r) -> str:
+    p = r.midplane_profile
+    fatal = p["fatal_events"]
+    lines = ["-- Figure 4a: fatal events per midplane (ASCII) " + "-" * 10]
+    vmax = float(fatal.max()) if len(fatal) else 0.0
+    for block in range(0, 80, 8):
+        row = fatal[block : block + 8]
+        lines.append(
+            f"mp {block:>2}-{block + 7:>2}: "
+            + " ".join(f"{int(v):>4}" for v in row)
+            + f" | {_bar(float(row.sum()), max(1.0, vmax * 8), 24)}"
+        )
+    s = r.skew
+    lines.append(
+        f"wide region [32,64): events {100 * s.wide_region_event_share:.1f}%"
+        f" | wide workload {100 * s.wide_region_wide_workload_share:.1f}%"
+        f" | total workload {100 * s.wide_region_total_workload_share:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def _figure5(r) -> str:
+    from repro.viz import sparkline
+
+    per_day = r.bursts.per_day
+    lines = ["-- Figure 5: interruptions per day (weekly bins, ASCII) " + "-" * 2]
+    lines.append(f"daily: {sparkline(per_day)}")
+    weeks = [per_day[i : i + 7].sum() for i in range(0, len(per_day), 7)]
+    vmax = max(weeks) if weeks else 0
+    for w, count in enumerate(weeks):
+        lines.append(f"week {w + 1:>3}: {int(count):>4} {_bar(count, max(1, vmax))}")
+    lines.append(
+        f"bursty: index of dispersion {r.bursts.burstiness:.2f},"
+        f" {r.bursts.quick_successions} quick successions"
+        f" (< {r.bursts.quick_window:.0f} s)"
+    )
+    return "\n".join(lines)
+
+
+def _figure7(r) -> str:
+    v = r.vulnerability
+    lines = ["-- Figure 7: P(interrupt on resubmission | k prior) " + "-" * 7]
+    for risk, label in (
+        (v.risk_system, "category 1 (system)"),
+        (v.risk_application, "category 2 (application)"),
+    ):
+        probs = risk.probabilities()
+        cells = "  ".join(
+            f"k={k + 1}: {100 * p:>5.1f}% ({risk.counts[k][0]}/{risk.counts[k][1]})"
+            for k, p in enumerate(probs)
+        )
+        lines.append(f"{label:<26} {cells}")
+    return "\n".join(lines)
+
+
+def _observations_section(r) -> str:
+    lines = ["-- The twelve observations " + "-" * 32]
+    lines += [obs.summary() for obs in r.observations]
+    held = sum(1 for o in r.observations if o.holds)
+    lines.append(f"=> {held}/12 observations hold")
+    return "\n".join(lines)

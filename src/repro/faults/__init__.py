@@ -1,0 +1,51 @@
+"""Fault injection and RAS emission — the CMCS stand-in.
+
+The real study reads a 1.1 GB RAS log the CMCS wrote; we cannot access
+it, so this package generates one with the same statistical anatomy:
+
+* :mod:`repro.faults.catalog` — the 82 FATAL ERRCODE types across six
+  components (§III-B), each tagged with its *ground-truth* behaviour
+  class (ambient/idle system failures, sticky system failures that keep
+  killing newly scheduled jobs, transient system failures, the two
+  non-interrupting "fatal" alarms, shared-file-system propagators, and
+  the application-error types);
+* :mod:`repro.faults.processes` — the stochastic processes that decide
+  *when and where* ground-truth incidents strike (Weibull renewal
+  processes, wide-job-occupancy modulation for Figure 4's skew);
+* :mod:`repro.faults.apperrors` — the per-executable application-error
+  model (Beta-distributed per-run failure probability, early-failure
+  time law behind Observation 11);
+* :mod:`repro.faults.storms` — the redundancy amplifier that turns each
+  incident into the many raw RAS records a real CMCS writes (per-node
+  fan-out, repeat storms) plus the non-fatal background;
+* :mod:`repro.faults.injector` — the ground-truth record types shared
+  with the scheduler simulation.
+"""
+
+from repro.faults.catalog import (
+    APP_ERROR_TYPES,
+    FAULT_CATALOG,
+    NONFATAL_FATAL_TYPES,
+    FaultClass,
+    FaultType,
+    catalog_by_errcode,
+)
+from repro.faults.injector import GroundTruth, Incident, IncidentCause
+from repro.faults.apperrors import ApplicationErrorModel
+from repro.faults.processes import SystemFaultProcess
+from repro.faults.storms import StormEmitter
+
+__all__ = [
+    "FaultType",
+    "FaultClass",
+    "FAULT_CATALOG",
+    "APP_ERROR_TYPES",
+    "NONFATAL_FATAL_TYPES",
+    "catalog_by_errcode",
+    "Incident",
+    "IncidentCause",
+    "GroundTruth",
+    "ApplicationErrorModel",
+    "SystemFaultProcess",
+    "StormEmitter",
+]

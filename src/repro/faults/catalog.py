@@ -1,0 +1,333 @@
+"""The fatal-event type catalog.
+
+The Intrepid RAS log contains 33,370 FATAL records spanning **82 ERRCODE
+types from six components** (§III-B). The co-analysis later *discovers*
+the behaviour of each type (interruption-related or not, system failure
+or application error); the simulator needs the behaviour as ground truth
+up front. This module encodes those 82 types with the classes the
+paper's findings imply:
+
+=====================  ====  ==========================================
+class                  types  role in the study
+=====================  ====  ==========================================
+``AMBIENT_IDLE``        49   strike mid-planes regardless of occupancy;
+                             in the real log these types were *never*
+                             co-located with a job (the undetermined
+                             cases of §IV-A)
+``STICKY``               4   the §IV-B system failures that keep killing
+                             newly scheduled jobs until repaired: L1
+                             cache parity, DDR controller, file-system
+                             configuration, link-card error
+``TRANSIENT``           19   interrupt the co-located job once
+``NONFATAL_FATAL``       2   FATAL-labelled alarms that never interrupt:
+                             BULK_POWER_FATAL, _bgp_err_torus_fatal_sum
+``APPLICATION``          8   user-caused errors (§IV-B); two of them —
+                             bg_code_script_error and CiodHungProxy —
+                             live in the shared file system and
+                             propagate across concurrent jobs (§VI-C)
+=====================  ====  ==========================================
+
+``rate_weight`` sets a type's relative share of ground-truth incidents
+within its class; ``storm_mean`` the average number of raw RAS records
+one incident explodes into (kernel-domain types report from every
+compute node of the partition, giving the KERNEL component its 75%
+share of fatal records).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class FaultClass(enum.Enum):
+    """Ground-truth behaviour class of a fatal ERRCODE type."""
+
+    AMBIENT_IDLE = "ambient_idle"
+    STICKY = "sticky"
+    TRANSIENT = "transient"
+    NONFATAL_FATAL = "nonfatal_fatal"
+    APPLICATION = "application"
+
+
+@dataclass(frozen=True)
+class FaultType:
+    """One ERRCODE type and its ground-truth behaviour."""
+
+    errcode: str
+    msg_id: str
+    component: str
+    subcomponent: str
+    fclass: FaultClass
+    message: str
+    rate_weight: float = 1.0
+    storm_mean: float = 8.0
+    propagates: bool = False  # shared-FS types hitting concurrent jobs
+
+    @property
+    def is_system(self) -> bool:
+        """System failure (vs application error) in the §IV terminology."""
+        return self.fclass is not FaultClass.APPLICATION
+
+    @property
+    def truly_interrupts(self) -> bool:
+        """Can this type ever interrupt a job?"""
+        return self.fclass in (
+            FaultClass.STICKY,
+            FaultClass.TRANSIENT,
+            FaultClass.APPLICATION,
+        )
+
+
+def _t(errcode, msg_id, component, sub, fclass, message, w, storm, prop=False):
+    return FaultType(
+        errcode=errcode,
+        msg_id=msg_id,
+        component=component,
+        subcomponent=sub,
+        fclass=fclass,
+        message=message,
+        rate_weight=w,
+        storm_mean=storm,
+        propagates=prop,
+    )
+
+
+_A = FaultClass.APPLICATION
+_S = FaultClass.STICKY
+_T = FaultClass.TRANSIENT
+_N = FaultClass.NONFATAL_FATAL
+_I = FaultClass.AMBIENT_IDLE
+
+# ---------------------------------------------------------------------------
+# application errors (8) — §IV-B names six, two more join by correlation
+_APPLICATION = [
+    _t("_bgp_err_invalid_mem_address", "KERN_0804", "KERNEL", "_bgp_unit_mmu", _A,
+       "Data TLB miss interrupt: invalid memory address in application", 3.0, 90.0),
+    _t("_bgp_err_out_of_memory", "KERN_0805", "KERNEL", "_bgp_unit_heap", _A,
+       "Out of memory: heap allocation failed in application", 2.5, 60.0),
+    _t("_bgp_err_fs_operation", "CIOD_0301", "KERNEL", "_bgp_unit_ciod", _A,
+       "File system operation failed in compute node I/O daemon", 2.0, 40.0),
+    _t("_bgp_err_collective_op", "KERN_0807", "KERNEL", "_bgp_unit_col", _A,
+       "Collective operation error: mismatched reduction arguments", 1.5, 70.0),
+    _t("CiodHungProxy", "CIOD_0302", "KERNEL", "_bgp_unit_ciod", _A,
+       "CIOD proxy hung: user file system operation mistake", 1.5, 50.0,
+       True),
+    _t("bg_code_script_error", "MMCS_0210", "MMCS", "mc_server_script", _A,
+       "Job prologue script error in shared file system", 1.2, 12.0, True),
+    _t("_bgp_err_mpi_abort", "KERN_0809", "KERNEL", "_bgp_unit_mpi", _A,
+       "Application called MPI_Abort; terminating partition", 1.0, 60.0),
+    _t("_bgp_err_sigsegv_storm", "KERN_0810", "KERNEL", "_bgp_unit_sig", _A,
+       "Signal SIGSEGV delivered to application processes", 1.0, 80.0),
+]
+
+# ---------------------------------------------------------------------------
+# sticky system failures (4) — §IV-B's repeat offenders
+_STICKY = [
+    _t("_bgp_err_cns_ras_storm_fatal", "KERN_0802", "KERNEL", "_bgp_unit_l1", _S,
+       "L1 data cache parity error detected by common node services", 2.0, 120.0),
+    _t("_bgp_err_ddr_controller", "KERN_0811", "KERNEL", "_bgp_unit_ddr", _S,
+       "DDR controller error: uncorrectable ECC on memory channel", 1.5, 100.0),
+    _t("_bgp_err_fs_configuration", "MMCS_0215", "MMCS", "mc_server_fs", _S,
+       "File system configuration error on I/O node mount", 1.0, 25.0),
+    _t("_bgp_err_link_card", "CARD_0502", "CARD", "PALOMINO_L", _S,
+       "Link card error: retraining failed on port", 1.0, 15.0),
+]
+
+# ---------------------------------------------------------------------------
+# transient system failures (19): interrupt the co-located job once
+_TRANSIENT = [
+    _t("_bgp_err_kernel_panic", "KERN_0801", "KERNEL", "_bgp_unit_core", _T,
+       "Kernel panic on compute node; partition halted", 3.0, 110.0),
+    _t("_bgp_err_torus_retrans_fail", "KERN_0812", "KERNEL", "_bgp_unit_torus", _T,
+       "Torus retransmission failure exceeded threshold", 2.0, 90.0),
+    _t("_bgp_err_collective_crc", "KERN_0813", "KERNEL", "_bgp_unit_col", _T,
+       "Collective network CRC error; packet dropped", 2.0, 70.0),
+    _t("_bgp_err_tree_ecc", "KERN_0814", "KERNEL", "_bgp_unit_tree", _T,
+       "Tree network uncorrectable ECC error", 1.5, 70.0),
+    _t("_bgp_err_dma_fatal", "KERN_0815", "KERNEL", "_bgp_unit_dma", _T,
+       "DMA unit fatal error: injection FIFO corrupted", 1.5, 80.0),
+    _t("_bgp_err_l2_multihit", "KERN_0816", "KERNEL", "_bgp_unit_l2", _T,
+       "L2 cache multi-hit error detected", 1.2, 75.0),
+    _t("_bgp_err_l3_ecc_fatal", "KERN_0817", "KERNEL", "_bgp_unit_l3", _T,
+       "L3 EDRAM uncorrectable ECC error", 1.2, 75.0),
+    _t("_bgp_err_snoop_timeout", "KERN_0818", "KERNEL", "_bgp_unit_snoop", _T,
+       "Snoop unit timeout waiting for coherence response", 1.0, 60.0),
+    _t("_bgp_err_fpu_unavailable", "KERN_0819", "KERNEL", "_bgp_unit_fpu", _T,
+       "Double hummer FPU unavailable exception in kernel mode", 0.8, 50.0),
+    _t("_bgp_err_instr_storage", "KERN_0820", "KERNEL", "_bgp_unit_mmu", _T,
+       "Instruction storage interrupt: invalid mapping in kernel", 0.8, 55.0),
+    _t("_bgp_err_machine_check", "KERN_0821", "KERNEL", "_bgp_unit_core", _T,
+       "Machine check interrupt raised by PPC450 core", 0.8, 65.0),
+    _t("_bgp_err_io_node_crash", "CIOD_0310", "KERNEL", "_bgp_unit_ciod", _T,
+       "I/O node crashed; compute nodes lost tree connection", 1.5, 45.0),
+    _t("_bgp_err_ciod_exit", "CIOD_0311", "KERNEL", "_bgp_unit_ciod", _T,
+       "CIOD exited unexpectedly on I/O node", 1.0, 40.0),
+    _t("_bgp_err_eth_fatal", "CIOD_0312", "KERNEL", "_bgp_unit_eth", _T,
+       "10GE interface fatal error on I/O node", 0.8, 35.0),
+    _t("_bgp_err_mmcs_boot", "MMCS_0201", "MMCS", "mc_server_boot", _T,
+       "Partition boot failed: block initialization error", 1.2, 18.0),
+    _t("_bgp_err_mmcs_poll", "MMCS_0202", "MMCS", "mc_server_poll", _T,
+       "MMCS polling failure on service connection", 0.8, 12.0),
+    _t("_bgp_err_mc_timeout", "MC_0101", "MC", "machine_ctrl", _T,
+       "Machine controller timeout communicating with node card", 0.8, 12.0),
+    _t("_bgp_err_nodecard_ddr", "CARD_0503", "CARD", "PALOMINO_N", _T,
+       "Node card DDR power domain fault", 0.6, 14.0),
+    _t("_bgp_err_diags_abort", "DIAG_0601", "DIAGS", "diag_harness", _T,
+       "Diagnostics run aborted with hardware fault signature", 0.4, 8.0),
+]
+
+# ---------------------------------------------------------------------------
+# FATAL-labelled, never interrupting (2) — §IV-A's discovered non-fatals
+_NONFATAL = [
+    _t("BULK_POWER_FATAL", "CARD_0411", "CARD", "PALOMINO_S", _N,
+       "An error was detected by the bulk power module: transient alarm",
+       2.0, 6.0),
+    _t("_bgp_err_torus_fatal_sum", "KERN_0822", "KERNEL", "_bgp_unit_torus", _N,
+       "Torus fatal error summary: recovered by higher-level protocol",
+       1.5, 30.0),
+]
+
+# ---------------------------------------------------------------------------
+# ambient/idle system failures (49): the undetermined types of §IV-A —
+# service infrastructure that fails whether or not a job is present. In
+# the simulation these strike uniformly; the scheduler keeps jobs off
+# the affected service hardware, so they are (almost) never co-located.
+_AMBIENT_SPECS = [
+    # service cards (8)
+    ("CARD_0411_CLOCK", "DetectedClockCardErrors", "CARD", "PALOMINO_S",
+     "An error(s) was detected by the Clock card: loss of reference input", 2.0),
+    ("CARD_0412_SRAM", "ServiceCardSramParity", "CARD", "PALOMINO_S",
+     "Service card SRAM parity error", 1.0),
+    ("CARD_0413_PGOOD", "ServiceCardPowerGood", "CARD", "PALOMINO_S",
+     "Service card power-good deasserted", 1.2),
+    ("CARD_0414_I2C", "ServiceCardI2cFail", "CARD", "PALOMINO_S",
+     "Service card I2C bus failure", 0.8),
+    ("CARD_0415_VPD", "ServiceCardVpdRead", "CARD", "PALOMINO_S",
+     "Service card VPD read failure", 0.5),
+    ("CARD_0416_JTAG", "ServiceCardJtagChain", "CARD", "PALOMINO_S",
+     "Service card JTAG chain broken", 0.6),
+    ("CARD_0417_TEMP", "ServiceCardOverTemp", "CARD", "PALOMINO_S",
+     "Service card temperature above critical threshold", 1.0),
+    ("CARD_0418_FPGA", "ServiceCardFpgaCrc", "CARD", "PALOMINO_S",
+     "Service card FPGA configuration CRC error", 0.5),
+    # link cards (8)
+    ("CARD_0521_LINK_PLL", "LinkCardPllUnlock", "CARD", "PALOMINO_L",
+     "Link card PLL lost lock", 1.0),
+    ("CARD_0522_LINK_PWR", "LinkCardPowerFault", "CARD", "PALOMINO_L",
+     "Link card power domain fault", 0.9),
+    ("CARD_0523_LINK_TEMP", "LinkCardOverTemp", "CARD", "PALOMINO_L",
+     "Link card temperature above critical threshold", 0.8),
+    ("CARD_0524_LINK_SERDES", "LinkCardSerdesInit", "CARD", "PALOMINO_L",
+     "Link card SerDes initialization failure", 0.7),
+    ("CARD_0525_LINK_VPD", "LinkCardVpdRead", "CARD", "PALOMINO_L",
+     "Link card VPD read failure", 0.4),
+    ("CARD_0526_LINK_I2C", "LinkCardI2cFail", "CARD", "PALOMINO_L",
+     "Link card I2C bus failure", 0.4),
+    ("CARD_0527_LINK_CLOCK", "LinkCardClockMissing", "CARD", "PALOMINO_L",
+     "Link card input clock missing", 0.6),
+    ("CARD_0528_LINK_FPGA", "LinkCardFpgaCrc", "CARD", "PALOMINO_L",
+     "Link card FPGA configuration CRC error", 0.3),
+    # bulk power / environment (5)
+    ("CARD_0431_BPM_OVERV", "BulkPowerOverVoltage", "CARD", "PALOMINO_S",
+     "Bulk power module output over-voltage", 1.2),
+    ("CARD_0432_BPM_UNDERV", "BulkPowerUnderVoltage", "CARD", "PALOMINO_S",
+     "Bulk power module output under-voltage", 1.0),
+    ("CARD_0433_BPM_FAN", "BulkPowerFanFail", "CARD", "PALOMINO_S",
+     "Bulk power module fan failure", 1.4),
+    ("CARD_0434_BPM_COMM", "BulkPowerCommLoss", "CARD", "PALOMINO_S",
+     "Bulk power module communication loss", 0.8),
+    ("CARD_0435_BPM_TEMP", "BulkPowerOverTemp", "CARD", "PALOMINO_S",
+     "Bulk power module over temperature", 0.9),
+    # clock / fan / environmental kernel-visible (8)
+    ("KERN_0831_CLOCK_LOSS", "KERN_0831", "KERNEL", "_bgp_unit_clk",
+     "Global clock signal lost on node card", 1.2),
+    ("KERN_0832_FAN_RPM", "KERN_0832", "KERNEL", "_bgp_unit_env",
+     "Fan assembly RPM below threshold", 1.0),
+    ("KERN_0833_TEMP_CRIT", "KERN_0833", "KERNEL", "_bgp_unit_env",
+     "Node temperature critical; throttling engaged", 1.1),
+    ("KERN_0834_VOLT_RAIL", "KERN_0834", "KERNEL", "_bgp_unit_env",
+     "Voltage rail out of specification on node card", 0.9),
+    ("KERN_0835_SRAM_UNCORR", "KERN_0835", "KERNEL", "_bgp_unit_sram",
+     "SRAM uncorrectable error on idle node", 0.8),
+    ("KERN_0836_PERS_MEM", "KERN_0836", "KERNEL", "_bgp_unit_pers",
+     "Persistent memory scrub found uncorrectable error", 0.7),
+    ("KERN_0837_BIC_FATAL", "KERN_0837", "KERNEL", "_bgp_unit_bic",
+     "BIC interrupt controller fatal condition", 0.6),
+    ("KERN_0838_UPC_FATAL", "KERN_0838", "KERNEL", "_bgp_unit_upc",
+     "Universal performance counter unit fatal error", 0.4),
+    # machine controller power rails etc. (6)
+    ("MC_0111_PWR_RAIL", "MC_0111", "MC", "machine_ctrl_pwr",
+     "Machine controller: 48V power rail fault", 1.2),
+    ("MC_0112_CABLE", "MC_0112", "MC", "machine_ctrl_cable",
+     "Machine controller: cable presence lost", 0.8),
+    ("MC_0113_PGOOD_TREE", "MC_0113", "MC", "machine_ctrl_pwr",
+     "Machine controller: power-good tree violation", 0.7),
+    ("MC_0114_ENV_POLL", "MC_0114", "MC", "machine_ctrl_env",
+     "Machine controller: environmental poll failure", 0.9),
+    ("MC_0115_CARD_SEAT", "MC_0115", "MC", "machine_ctrl_seat",
+     "Machine controller: card seating fault detected", 0.5),
+    ("MC_0116_FW_CKSUM", "MC_0116", "MC", "machine_ctrl_fw",
+     "Machine controller: firmware checksum mismatch", 0.4),
+    # MMCS control system (6)
+    ("MMCS_0221_DB_CONN", "MMCS_0221", "MMCS", "mc_server_db",
+     "MMCS lost connection to backend DB2 database", 1.0),
+    ("MMCS_0222_CONSOLE", "MMCS_0222", "MMCS", "mc_server_con",
+     "MMCS console session terminated abnormally", 0.8),
+    ("MMCS_0223_BLOCK_FREE", "MMCS_0223", "MMCS", "mc_server_block",
+     "MMCS block free failed; resources leaked", 0.7),
+    ("MMCS_0224_MAILBOX", "MMCS_0224", "MMCS", "mc_server_mbx",
+     "MMCS mailbox read failure from node", 0.9),
+    ("MMCS_0225_ENV_MON", "MMCS_0225", "MMCS", "mc_server_env",
+     "MMCS environmental monitor raised fatal alert", 0.6),
+    ("MMCS_0226_SVC_ACTION", "MMCS_0226", "MMCS", "mc_server_svc",
+     "MMCS service action left hardware in error state", 0.5),
+    # diagnostics (4)
+    ("DIAG_0611_MEMTEST", "DIAG_0611", "DIAGS", "diag_mem",
+     "Diagnostics: memory test failed on node card", 0.7),
+    ("DIAG_0612_TORUS_LOOP", "DIAG_0612", "DIAGS", "diag_torus",
+     "Diagnostics: torus loopback test failed", 0.6),
+    ("DIAG_0613_LINK_EYE", "DIAG_0613", "DIAGS", "diag_link",
+     "Diagnostics: link eye-height below margin", 0.5),
+    ("DIAG_0614_POWER_CYCLE", "DIAG_0614", "DIAGS", "diag_pwr",
+     "Diagnostics: power cycle sequence failed", 0.4),
+    # bare metal service facilities (4)
+    ("BM_0701_BOOTLOADER", "BM_0701", "BAREMETAL", "bm_boot",
+     "Bare metal bootloader handshake failed", 0.6),
+    ("BM_0702_FW_LOAD", "BM_0702", "BAREMETAL", "bm_fw",
+     "Bare metal firmware load failure", 0.5),
+    ("BM_0703_SVC_NET", "BM_0703", "BAREMETAL", "bm_net",
+     "Bare metal service network unreachable", 0.6),
+    ("BM_0704_NVRAM", "BM_0704", "BAREMETAL", "bm_nvram",
+     "Bare metal NVRAM checksum failure", 0.3),
+]
+
+_AMBIENT = [
+    _t(errcode, msg_id, comp, sub, _I, msg, w, 5.0)
+    for errcode, msg_id, comp, sub, msg, w in _AMBIENT_SPECS
+]
+
+#: the full 82-type catalog
+FAULT_CATALOG: tuple[FaultType, ...] = tuple(
+    _APPLICATION + _STICKY + _TRANSIENT + _NONFATAL + _AMBIENT
+)
+
+APP_ERROR_TYPES = tuple(t for t in FAULT_CATALOG if t.fclass is _A)
+STICKY_TYPES = tuple(t for t in FAULT_CATALOG if t.fclass is _S)
+TRANSIENT_TYPES = tuple(t for t in FAULT_CATALOG if t.fclass is _T)
+NONFATAL_FATAL_TYPES = tuple(t for t in FAULT_CATALOG if t.fclass is _N)
+AMBIENT_TYPES = tuple(t for t in FAULT_CATALOG if t.fclass is _I)
+
+
+@lru_cache(maxsize=1)
+def _by_errcode() -> dict[str, FaultType]:
+    return {t.errcode: t for t in FAULT_CATALOG}
+
+
+def catalog_by_errcode(errcode: str) -> FaultType:
+    """Look up a fault type by its ERRCODE."""
+    try:
+        return _by_errcode()[errcode]
+    except KeyError:
+        raise KeyError(f"unknown ERRCODE {errcode!r}") from None

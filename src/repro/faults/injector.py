@@ -1,0 +1,114 @@
+"""Ground-truth record types shared by the scheduler simulation and the
+RAS emitter.
+
+An :class:`Incident` is one *real* fault occurrence — the thing the
+paper's filtering pipeline tries to recover from the redundant raw log.
+The simulation keeps these as hidden ground truth so EXPERIMENTS.md can
+score how well the pipeline recovers them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.faults.catalog import FaultClass, FaultType
+
+
+class IncidentCause(enum.Enum):
+    """Why the incident happened (ground truth, invisible to analysis)."""
+
+    AMBIENT = "ambient"                  # background hardware/service fault
+    NONFATAL_ALARM = "nonfatal_alarm"    # FATAL-labelled alarm, no impact
+    TRANSIENT = "transient"              # one-shot fault under a job
+    STICKY_PRIMARY = "sticky_primary"    # first strike of a sticky failure
+    STICKY_REFIRE = "sticky_refire"      # same breakage kills a later job
+    APPLICATION = "application"          # buggy executable failed
+    APPLICATION_RESUBMIT = "application_resubmit"  # same bug, resubmitted
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One ground-truth fault occurrence."""
+
+    time: float
+    fault_type: FaultType
+    location: str
+    cause: IncidentCause
+    interrupted_job_ids: tuple[int, ...] = ()
+    #: id of the sticky breakage or buggy executable chain, for tracing
+    chain_id: int = -1
+
+    @property
+    def errcode(self) -> str:
+        return self.fault_type.errcode
+
+    @property
+    def interrupts(self) -> bool:
+        return bool(self.interrupted_job_ids)
+
+    @property
+    def is_redundant(self) -> bool:
+        """Job-related redundancy ground truth (§IV-C): refires of a
+        sticky breakage and repeat failures of a resubmitted buggy
+        executable are redundant with the chain's first incident."""
+        return self.cause in (
+            IncidentCause.STICKY_REFIRE,
+            IncidentCause.APPLICATION_RESUBMIT,
+        )
+
+
+@dataclass
+class GroundTruth:
+    """Everything the simulation knows that the analysis must rediscover."""
+
+    incidents: list[Incident] = field(default_factory=list)
+
+    def add(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+
+    def extend(self, incidents: Iterable[Incident]) -> None:
+        self.incidents.extend(incidents)
+
+    def sort(self) -> None:
+        self.incidents.sort(key=lambda i: i.time)
+
+    # ------------------------------------------------------------------
+    # summary accessors used by tests and EXPERIMENTS.md
+
+    def count(self, *causes: IncidentCause) -> int:
+        return sum(1 for i in self.incidents if i.cause in causes)
+
+    def interrupting(self) -> list[Incident]:
+        return [i for i in self.incidents if i.interrupts]
+
+    def redundant(self) -> list[Incident]:
+        return [i for i in self.incidents if i.is_redundant]
+
+    def by_class(self, fclass: FaultClass) -> list[Incident]:
+        return [i for i in self.incidents if i.fault_type.fclass is fclass]
+
+    def interrupted_job_ids(self) -> set[int]:
+        out: set[int] = set()
+        for i in self.incidents:
+            out.update(i.interrupted_job_ids)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "incidents": len(self.incidents),
+            "interrupting": len(self.interrupting()),
+            "redundant": len(self.redundant()),
+            "interrupted_jobs": len(self.interrupted_job_ids()),
+            "application": self.count(
+                IncidentCause.APPLICATION, IncidentCause.APPLICATION_RESUBMIT
+            ),
+            "system": self.count(
+                IncidentCause.TRANSIENT,
+                IncidentCause.STICKY_PRIMARY,
+                IncidentCause.STICKY_REFIRE,
+            ),
+            "ambient": self.count(IncidentCause.AMBIENT),
+            "nonfatal_alarm": self.count(IncidentCause.NONFATAL_ALARM),
+        }

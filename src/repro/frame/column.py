@@ -1,0 +1,99 @@
+"""Column-level helpers: coercion, kind predicates, factorization."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: numpy dtype kinds treated as string-valued columns.
+_STRING_KINDS = frozenset("UO")
+_INTEGER_KINDS = frozenset("iu")
+_FLOAT_KINDS = frozenset("f")
+
+
+def as_column(values: Sequence | np.ndarray, name: str = "<column>") -> np.ndarray:
+    """Coerce *values* into a 1-D numpy array suitable for a frame column.
+
+    Strings are stored as ``object`` arrays (no silent truncation the way
+    fixed-width ``U`` dtypes truncate on assignment); numeric input keeps
+    its dtype; bools stay bool. Raises ``TypeError`` for nested or
+    multi-dimensional input.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values)
+        if values and isinstance(values[0], str):
+            arr = np.array(values, dtype=object)
+        else:
+            arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise TypeError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind == "U":
+        # Normalize to object so later assignments cannot truncate.
+        arr = arr.astype(object)
+    if arr.dtype.kind == "O":
+        bad = [v for v in arr[:100] if not isinstance(v, str) and v is not None]
+        if bad:
+            raise TypeError(
+                f"column {name!r} has object dtype with non-string value "
+                f"{bad[0]!r}; only str columns may use object dtype"
+            )
+    return arr
+
+
+def is_string_kind(arr: np.ndarray) -> bool:
+    """True if *arr* is a string-valued column."""
+    return arr.dtype.kind in _STRING_KINDS
+
+
+def is_integer_kind(arr: np.ndarray) -> bool:
+    """True if *arr* holds (signed or unsigned) integers."""
+    return arr.dtype.kind in _INTEGER_KINDS
+
+
+def is_float_kind(arr: np.ndarray) -> bool:
+    """True if *arr* holds floats."""
+    return arr.dtype.kind in _FLOAT_KINDS
+
+
+def factorize(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode *arr* as dense integer codes.
+
+    Returns ``(codes, uniques)`` where ``uniques[codes] == arr`` and codes
+    are int64 in ``[0, len(uniques))``, assigned in sorted-unique order.
+    """
+    uniques, codes = np.unique(arr, return_inverse=True)
+    return codes.astype(np.int64, copy=False), uniques
+
+
+def factorize_many(arrays: Iterable[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Encode the row-tuples of several equal-length arrays as group codes.
+
+    Combines per-column codes with mixed-radix arithmetic so that two rows
+    get the same code iff they agree on every key column. Returns
+    ``(codes, n_groups)`` with codes dense in ``[0, n_groups)`` ordered by
+    the lexicographic sorted order of the key tuples.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError("factorize_many needs at least one key array")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("key arrays must share a length")
+    combined = np.zeros(n, dtype=np.int64)
+    for a in arrays:
+        codes, uniques = factorize(a)
+        k = len(uniques)
+        if k == 0:
+            return np.zeros(0, dtype=np.int64), 0
+        if combined.max(initial=0) > 0 and k > 0:
+            limit = np.iinfo(np.int64).max // max(k, 1)
+            if combined.max() >= limit:
+                raise OverflowError("too many distinct key combinations")
+        combined = combined * k + codes
+    dense, _ = factorize(combined)
+    n_groups = int(dense.max()) + 1 if len(dense) else 0
+    return dense, n_groups

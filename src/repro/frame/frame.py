@@ -1,0 +1,355 @@
+"""The :class:`Frame` container: an ordered dict of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.frame.column import as_column, factorize_many, is_string_kind
+
+
+class Frame:
+    """An immutable-by-convention columnar table.
+
+    Columns are 1-D numpy arrays of equal length. Mutating operations
+    return new frames; the underlying arrays are shared where safe
+    (filter/take copy by construction, column renames share).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, Sequence | np.ndarray] | None = None):
+        self._data: dict[str, np.ndarray] = {}
+        if data:
+            n = None
+            for name, values in data.items():
+                col = as_column(values, name)
+                if n is None:
+                    n = len(col)
+                elif len(col) != n:
+                    raise ValueError(
+                        f"column {name!r} has length {len(col)}, expected {n}"
+                    )
+                self._data[name] = col
+
+    # ------------------------------------------------------------------
+    # basic introspection
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._data)
+
+    @property
+    def num_rows(self) -> int:
+        if not self._data:
+            return 0
+        return len(next(iter(self._data.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def dtypes(self) -> dict[str, np.dtype]:
+        """Mapping of column name to numpy dtype."""
+        return {k: v.dtype for k, v in self._data.items()}
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{k}:{v.dtype.kind}" for k, v in self._data.items())
+        return f"Frame({self.num_rows} rows: {cols})"
+
+    # ------------------------------------------------------------------
+    # column / row access
+
+    def col(self, name: str) -> np.ndarray:
+        """The raw column array (shared, do not mutate)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; have {self.columns}"
+            ) from None
+
+    def __getitem__(self, key):
+        """``frame[str]`` → column array; ``frame[list[str]]`` → projected
+        frame; ``frame[bool mask or int indices]`` → row subset."""
+        if isinstance(key, str):
+            return self.col(key)
+        if isinstance(key, list) and all(isinstance(k, str) for k in key):
+            return self.select(key)
+        arr = np.asarray(key)
+        if arr.dtype == bool:
+            return self.filter(arr)
+        return self.take(arr)
+
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Project onto *names*, preserving the given order."""
+        out = Frame()
+        for name in names:
+            out._data[name] = self.col(name)
+        return out
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Row *i* as a plain dict (scalars unboxed)."""
+        return {k: v[i].item() if hasattr(v[i], "item") else v[i] for k, v in self._data.items()}
+
+    def to_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate rows as dicts (slow path; for io and tests)."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None) -> "Frame":
+        """Build a frame from an iterable of row dicts.
+
+        All rows must supply every column. *columns* pins the order (and is
+        required when *rows* is empty).
+        """
+        rows = list(rows)
+        if not rows:
+            if columns is None:
+                return cls()
+            return cls({c: np.array([], dtype=object) for c in columns})
+        names = list(columns) if columns is not None else list(rows[0])
+        data = {name: [r[name] for r in rows] for name in names}
+        return cls(data)
+
+    # ------------------------------------------------------------------
+    # construction of derived frames
+
+    def with_column(self, name: str, values: Sequence | np.ndarray) -> "Frame":
+        """A new frame with column *name* added or replaced."""
+        col = as_column(values, name)
+        if self._data and len(col) != self.num_rows:
+            raise ValueError(
+                f"column {name!r} has length {len(col)}, expected {self.num_rows}"
+            )
+        out = Frame()
+        out._data = dict(self._data)
+        out._data[name] = col
+        return out
+
+    def drop(self, *names: str) -> "Frame":
+        """A new frame without the given columns."""
+        missing = [n for n in names if n not in self._data]
+        if missing:
+            raise KeyError(f"cannot drop missing columns {missing}")
+        out = Frame()
+        out._data = {k: v for k, v in self._data.items() if k not in names}
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """A new frame with columns renamed per *mapping*."""
+        missing = [n for n in mapping if n not in self._data]
+        if missing:
+            raise KeyError(f"cannot rename missing columns {missing}")
+        out = Frame()
+        out._data = {mapping.get(k, k): v for k, v in self._data.items()}
+        if len(out._data) != len(self._data):
+            raise ValueError("rename would collapse two columns into one name")
+        return out
+
+    # ------------------------------------------------------------------
+    # row operations
+
+    def filter(self, mask: np.ndarray) -> "Frame":
+        """Rows where boolean *mask* is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise TypeError("filter needs a boolean mask; use take for indices")
+        if len(mask) != self.num_rows:
+            raise ValueError(f"mask length {len(mask)} != {self.num_rows} rows")
+        out = Frame()
+        out._data = {k: v[mask] for k, v in self._data.items()}
+        return out
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        """Rows at integer *indices* (with repetition allowed)."""
+        indices = np.asarray(indices)
+        if indices.dtype.kind not in "iu":
+            raise TypeError("take needs integer indices")
+        out = Frame()
+        out._data = {k: v[indices] for k, v in self._data.items()}
+        return out
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def tail(self, n: int = 5) -> "Frame":
+        start = max(0, self.num_rows - n)
+        return self.take(np.arange(start, self.num_rows))
+
+    def sort_by(self, *keys: str, ascending: bool = True) -> "Frame":
+        """Stable lexicographic sort by the given key columns.
+
+        The first named key is the primary key (numpy's ``lexsort`` takes
+        them reversed; we handle that here).
+        """
+        if not keys:
+            raise ValueError("sort_by needs at least one key")
+        arrays = [self.col(k) for k in reversed(keys)]
+        order = np.lexsort(arrays)
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    # ------------------------------------------------------------------
+    # column summaries
+
+    def unique(self, name: str) -> np.ndarray:
+        """Sorted distinct values of a column."""
+        return np.unique(self.col(name))
+
+    def nunique(self, name: str) -> int:
+        """Number of distinct values of a column."""
+        return len(self.unique(name))
+
+    def value_counts(self, name: str) -> "Frame":
+        """Distinct values with occurrence counts, most frequent first."""
+        values, counts = np.unique(self.col(name), return_counts=True)
+        order = np.argsort(counts, kind="stable")[::-1]
+        return Frame({name: values[order], "count": counts[order]})
+
+    # ------------------------------------------------------------------
+    # relational operations
+
+    def groupby(self, keys: str | Sequence[str]) -> "GroupBy":
+        """Group rows by one or more key columns; see :class:`GroupBy`."""
+        from repro.frame.groupby import GroupBy
+
+        if isinstance(keys, str):
+            keys = [keys]
+        return GroupBy(self, list(keys))
+
+    def join(
+        self,
+        other: "Frame",
+        on: str | Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "Frame":
+        """Equi-join with *other* on shared key columns.
+
+        ``how`` is ``"inner"`` or ``"left"``. Non-key columns colliding
+        between the two sides get *suffix* appended on the right side.
+        Left joins fill unmatched numeric columns with the column dtype's
+        NaN (floats) / minimum sentinel (ints are upcast to float with NaN)
+        and string columns with ``""``.
+        """
+        from repro.frame.join import join as _join
+
+        if isinstance(on, str):
+            on = [on]
+        return _join(self, other, list(on), how=how, suffix=suffix)
+
+    def partition_codes(self, keys: Sequence[str]) -> tuple[np.ndarray, int]:
+        """Dense group codes for the row-tuples of the key columns."""
+        return factorize_many([self.col(k) for k in keys])
+
+    # ------------------------------------------------------------------
+    # convenience predicates
+
+    def mask_eq(self, name: str, value: Any) -> np.ndarray:
+        """Boolean mask of rows where column equals *value*."""
+        return self.col(name) == value
+
+    def mask_isin(self, name: str, values: Iterable[Any]) -> np.ndarray:
+        """Boolean mask of rows where the column value is in *values*."""
+        col = self.col(name)
+        values = list(values)
+        if not values:
+            return np.zeros(self.num_rows, dtype=bool)
+        if is_string_kind(col):
+            vset = set(values)
+            return np.fromiter(
+                (v in vset for v in col), count=len(col), dtype=bool
+            )
+        return np.isin(col, np.asarray(values))
+
+    def assign_by(self, name: str, fn: Callable[[dict[str, Any]], Any]) -> "Frame":
+        """Row-wise derived column (slow path; prefer vectorized ops)."""
+        values = [fn(r) for r in self.to_rows()]
+        return self.with_column(name, values)
+
+    def with_columns(self, columns: Mapping[str, Sequence | np.ndarray]) -> "Frame":
+        """A new frame with several columns added or replaced at once."""
+        out = self
+        for name, values in columns.items():
+            out = out.with_column(name, values)
+        return out
+
+    def distinct(self, subset: Sequence[str] | None = None) -> "Frame":
+        """Rows deduplicated on *subset* (default: all columns),
+        keeping the first occurrence in row order."""
+        keys = list(subset) if subset is not None else self.columns
+        if not keys:
+            return self
+        codes, _ = self.partition_codes(keys)
+        seen: set[int] = set()
+        keep = np.zeros(self.num_rows, dtype=bool)
+        for i, c in enumerate(codes):
+            if int(c) not in seen:
+                seen.add(int(c))
+                keep[i] = True
+        return self.filter(keep)
+
+    def quantile(self, name: str, q: float) -> float:
+        """The q-quantile of a numeric column (linear interpolation)."""
+        col = self.col(name)
+        if col.dtype.kind not in "iuf":
+            raise TypeError(f"column {name!r} is not numeric")
+        if self.num_rows == 0:
+            raise ValueError("empty frame has no quantiles")
+        return float(np.quantile(col.astype(np.float64), q))
+
+    def describe(self) -> "Frame":
+        """Per-numeric-column summary: count, mean, std, min, median,
+        max — the quick-look a log analyst reaches for first."""
+        rows = []
+        for name in self.columns:
+            col = self.col(name)
+            if col.dtype.kind not in "iuf" or self.num_rows == 0:
+                continue
+            values = col.astype(np.float64)
+            rows.append(
+                {
+                    "column": name,
+                    "count": int(len(values)),
+                    "mean": float(values.mean()),
+                    "std": float(values.std()),
+                    "min": float(values.min()),
+                    "median": float(np.median(values)),
+                    "max": float(values.max()),
+                }
+            )
+        return Frame.from_rows(
+            rows,
+            columns=["column", "count", "mean", "std", "min", "median", "max"],
+        )
+
+
+def concat(frames: Sequence[Frame]) -> Frame:
+    """Stack frames row-wise. All frames must share the same column set."""
+    frames = [f for f in frames if f.num_columns]
+    if not frames:
+        return Frame()
+    names = frames[0].columns
+    for f in frames[1:]:
+        if set(f.columns) != set(names):
+            raise ValueError(
+                f"concat column mismatch: {names} vs {f.columns}"
+            )
+    out = Frame()
+    for name in names:
+        parts = [f.col(name) for f in frames]
+        if any(p.dtype.kind == "O" for p in parts):
+            parts = [p.astype(object) for p in parts]
+        out._data[name] = np.concatenate(parts)
+    return out

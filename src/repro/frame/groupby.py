@@ -1,0 +1,159 @@
+"""Hash group-by with vectorized aggregations."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.frame.column import factorize_many
+from repro.frame.frame import Frame
+
+#: aggregation name -> (needs value column, implementation)
+_AGGS = frozenset(
+    {"count", "sum", "mean", "min", "max", "first", "last", "nunique", "median"}
+)
+
+
+class GroupBy:
+    """Deferred group-by over a :class:`Frame`.
+
+    Built by :meth:`Frame.groupby`. Group codes are computed once; every
+    aggregation reuses them. Groups are ordered by the sorted order of
+    their key tuples (matching ``np.unique`` semantics).
+    """
+
+    def __init__(self, frame: Frame, keys: Sequence[str]):
+        self._frame = frame
+        self._keys = list(keys)
+        self._codes, self._n_groups = frame.partition_codes(self._keys)
+        # Representative row index per group (first occurrence in code order)
+        if self._n_groups:
+            order = np.argsort(self._codes, kind="stable")
+            sorted_codes = self._codes[order]
+            firsts = np.searchsorted(sorted_codes, np.arange(self._n_groups))
+            self._order = order
+            self._group_starts = firsts
+            self._rep_rows = order[firsts]
+        else:
+            self._order = np.zeros(0, dtype=np.int64)
+            self._group_starts = np.zeros(0, dtype=np.int64)
+            self._rep_rows = np.zeros(0, dtype=np.int64)
+
+    @property
+    def num_groups(self) -> int:
+        return self._n_groups
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Per-row dense group id."""
+        return self._codes
+
+    def _key_frame(self) -> Frame:
+        out = Frame()
+        for k in self._keys:
+            out = (
+                out.with_column(k, self._frame.col(k)[self._rep_rows])
+                if out.num_columns
+                else Frame({k: self._frame.col(k)[self._rep_rows]})
+            )
+        return out
+
+    # ------------------------------------------------------------------
+
+    def size(self) -> Frame:
+        """Group sizes as a frame of key columns plus ``count``."""
+        counts = np.bincount(self._codes, minlength=self._n_groups)
+        return self._key_frame().with_column("count", counts.astype(np.int64))
+
+    def agg(self, **specs: tuple[str, str] | str) -> Frame:
+        """Aggregate value columns per group.
+
+        Each keyword is an output column name mapping to either
+        ``(source_column, agg_name)`` or just ``agg_name`` for ``"count"``.
+        Supported aggregations: count, sum, mean, min, max, first, last,
+        nunique, median.
+
+        Example::
+
+            jobs.groupby("user").agg(
+                jobs=("job_id", "count"),
+                total_nodes=("size", "sum"),
+            )
+        """
+        out = self._key_frame()
+        for out_name, spec in specs.items():
+            if isinstance(spec, str):
+                source, aggname = None, spec
+            else:
+                source, aggname = spec
+            if aggname not in _AGGS:
+                raise ValueError(f"unknown aggregation {aggname!r}")
+            out = out.with_column(out_name, self._agg_one(source, aggname))
+        return out
+
+    def _agg_one(self, source: str | None, aggname: str) -> np.ndarray:
+        codes, n = self._codes, self._n_groups
+        if aggname == "count":
+            return np.bincount(codes, minlength=n).astype(np.int64)
+        if source is None:
+            raise ValueError(f"aggregation {aggname!r} needs a source column")
+        values = self._frame.col(source)
+        if aggname == "sum":
+            return np.bincount(codes, weights=values.astype(np.float64), minlength=n)
+        if aggname == "mean":
+            sums = np.bincount(codes, weights=values.astype(np.float64), minlength=n)
+            counts = np.bincount(codes, minlength=n)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                return sums / counts
+        if aggname in ("min", "max", "median"):
+            return self._sorted_scan(values, aggname)
+        if aggname == "first":
+            return values[self._rep_rows]
+        if aggname == "last":
+            # last occurrence per group in row order
+            order = self._order
+            ends = np.append(self._group_starts[1:], len(order))
+            return values[order[ends - 1]]
+        if aggname == "nunique":
+            pair_codes, _ = factorize_many([codes, values])
+            uniq = np.unique(pair_codes)
+            owner = np.zeros(len(uniq), dtype=np.int64)
+            # Recover which group each unique (group, value) pair belongs to:
+            sorted_idx = np.argsort(pair_codes, kind="stable")
+            firsts = np.searchsorted(pair_codes[sorted_idx], uniq)
+            owner = codes[sorted_idx[firsts]]
+            return np.bincount(owner, minlength=n).astype(np.int64)
+        raise AssertionError(aggname)
+
+    def _sorted_scan(self, values: np.ndarray, aggname: str) -> np.ndarray:
+        order, starts = self._order, self._group_starts
+        sorted_vals = values[order]
+        ends = np.append(starts[1:], len(order))
+        if aggname == "min":
+            return np.minimum.reduceat(sorted_vals, starts)
+        if aggname == "max":
+            return np.maximum.reduceat(sorted_vals, starts)
+        # median: per-group slices (no reduceat); acceptable for analysis sizes
+        out = np.empty(self._n_groups, dtype=np.float64)
+        for g in range(self._n_groups):
+            out[g] = np.median(sorted_vals[starts[g] : ends[g]])
+        return out
+
+    # ------------------------------------------------------------------
+
+    def groups(self) -> Iterator[tuple[dict[str, Any], Frame]]:
+        """Iterate ``(key_dict, subframe)`` per group, in key order."""
+        keyframe = self._key_frame()
+        ends = np.append(self._group_starts[1:], len(self._order))
+        for g in range(self._n_groups):
+            rows = self._order[self._group_starts[g] : ends[g]]
+            yield keyframe.row(g), self._frame.take(np.sort(rows))
+
+    def apply(self, fn: Callable[[Frame], dict[str, Any]]) -> Frame:
+        """Apply *fn* to each group's subframe; collect dict results."""
+        rows = []
+        for key, sub in self.groups():
+            res = fn(sub)
+            rows.append({**key, **res})
+        return Frame.from_rows(rows, columns=None if rows else self._keys)

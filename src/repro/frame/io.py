@@ -1,0 +1,117 @@
+"""Delimited text io for frames.
+
+The RAS and job logs are serialized as header-bearing delimited text
+(``|`` by default, mirroring DB2 export style). Types are recovered on
+read from a dtype tag appended to each header cell, so round-trips are
+loss-free for int/float/str/bool columns.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from repro.frame.frame import Frame
+
+_TAGS = {"i": "int", "u": "int", "f": "float", "b": "bool", "O": "str", "U": "str"}
+_PARSERS = {
+    "int": lambda col: np.array([int(v) for v in col], dtype=np.int64),
+    "float": lambda col: np.array([float(v) for v in col], dtype=np.float64),
+    "bool": lambda col: np.array([v == "True" for v in col], dtype=bool),
+    "str": lambda col: np.array(list(col), dtype=object),
+}
+
+
+def write_delimited(frame: Frame, target: str | Path | IO[str], sep: str = "|") -> None:
+    """Write *frame* as delimited text with a typed header row.
+
+    String cells must not contain the separator or newlines; the log
+    formats guarantee this (messages use ``;`` and spaces).
+    """
+    close = False
+    if isinstance(target, (str, Path)):
+        fh: IO[str] = open(target, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = target
+    try:
+        header = []
+        for name in frame.columns:
+            kind = frame.col(name).dtype.kind
+            tag = _TAGS.get(kind)
+            if tag is None:
+                raise TypeError(f"column {name!r} has unsupported kind {kind!r}")
+            header.append(f"{name}:{tag}")
+        fh.write(sep.join(header) + "\n")
+        cols = [frame.col(name) for name in frame.columns]
+        str_cols = []
+        for col in cols:
+            if col.dtype.kind in "OU":
+                for v in col:
+                    if sep in v or "\n" in v:
+                        raise ValueError(
+                            f"string cell {v!r} contains separator or newline"
+                        )
+                str_cols.append(col)
+            elif col.dtype.kind == "f":
+                str_cols.append(np.array([repr(float(v)) for v in col], dtype=object))
+            else:
+                str_cols.append(col.astype(str).astype(object))
+        for i in range(frame.num_rows):
+            fh.write(sep.join(str(c[i]) for c in str_cols) + "\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_delimited(source: str | Path | IO[str], sep: str = "|") -> Frame:
+    """Read a frame written by :func:`write_delimited`."""
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: IO[str] = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = source
+    try:
+        header_line = fh.readline().rstrip("\n")
+        if not header_line:
+            return Frame()
+        names, tags = [], []
+        for cell in header_line.split(sep):
+            name, _, tag = cell.rpartition(":")
+            if tag not in _PARSERS:
+                raise ValueError(f"bad header cell {cell!r}")
+            names.append(name)
+            tags.append(tag)
+        raw_cols: list[list[str]] = [[] for _ in names]
+        for line in fh:
+            parts = line.rstrip("\n").split(sep)
+            if len(parts) != len(names):
+                raise ValueError(
+                    f"row has {len(parts)} cells, expected {len(names)}: {line!r}"
+                )
+            for c, v in zip(raw_cols, parts):
+                c.append(v)
+        data = {
+            name: _PARSERS[tag](col)
+            for name, tag, col in zip(names, tags, raw_cols)
+        }
+        return Frame(data)
+    finally:
+        if close:
+            fh.close()
+
+
+def to_string(frame: Frame, sep: str = "|") -> str:
+    """Serialize to an in-memory string (round-trips via from_string)."""
+    buf = _io.StringIO()
+    write_delimited(frame, buf, sep=sep)
+    return buf.getvalue()
+
+
+def from_string(text: str, sep: str = "|") -> Frame:
+    """Parse a frame from :func:`to_string` output."""
+    return read_delimited(_io.StringIO(text), sep=sep)

@@ -1,0 +1,118 @@
+"""Equi-join between two frames, implemented with sort-based matching."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.frame.column import factorize_many, is_string_kind
+from repro.frame.frame import Frame
+
+
+def join(
+    left: Frame,
+    right: Frame,
+    on: Sequence[str],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Frame:
+    """Join *left* and *right* on equal values of the *on* columns.
+
+    Produces one output row per matching (left row, right row) pair,
+    ordered by left row index then right row index. ``how="left"`` keeps
+    unmatched left rows, filling right-side numeric columns with NaN
+    (integers are upcast to float) and string columns with ``""``.
+    """
+    if how not in ("inner", "left"):
+        raise ValueError(f"unsupported join type {how!r}")
+    for k in on:
+        if k not in left or k not in right:
+            raise KeyError(f"join key {k!r} missing from one side")
+
+    nl, nr = left.num_rows, right.num_rows
+    # Factorize the stacked key columns so both sides share codes.
+    stacked = []
+    for k in on:
+        lcol, rcol = left.col(k), right.col(k)
+        if is_string_kind(lcol) != is_string_kind(rcol):
+            raise TypeError(f"join key {k!r} has mismatched kinds")
+        if is_string_kind(lcol):
+            stacked.append(np.concatenate([lcol.astype(object), rcol.astype(object)]))
+        else:
+            stacked.append(np.concatenate([lcol, rcol]))
+    codes, _ = factorize_many(stacked)
+    lcodes, rcodes = codes[:nl], codes[nl:]
+
+    r_order = np.argsort(rcodes, kind="stable")
+    r_sorted = rcodes[r_order]
+    starts = np.searchsorted(r_sorted, lcodes, side="left")
+    ends = np.searchsorted(r_sorted, lcodes, side="right")
+    counts = ends - starts
+
+    matched = counts > 0
+    if how == "inner":
+        l_idx = np.repeat(np.arange(nl), counts)
+        r_idx = np.concatenate(
+            [r_order[s:e] for s, e in zip(starts[matched], ends[matched])]
+        ) if matched.any() else np.zeros(0, dtype=np.int64)
+        return _assemble(left, right, on, suffix, l_idx, r_idx, None)
+
+    # left join: unmatched rows contribute one output row with fill values
+    out_counts = np.where(matched, counts, 1)
+    l_idx = np.repeat(np.arange(nl), out_counts)
+    r_parts, null_mask_parts = [], []
+    for i in range(nl):
+        if matched[i]:
+            r_parts.append(r_order[starts[i] : ends[i]])
+            null_mask_parts.append(np.zeros(counts[i], dtype=bool))
+        else:
+            r_parts.append(np.zeros(1, dtype=np.int64))
+            null_mask_parts.append(np.ones(1, dtype=bool))
+    r_idx = np.concatenate(r_parts) if r_parts else np.zeros(0, dtype=np.int64)
+    null_mask = (
+        np.concatenate(null_mask_parts) if null_mask_parts else np.zeros(0, dtype=bool)
+    )
+    return _assemble(left, right, on, suffix, l_idx, r_idx, null_mask)
+
+
+def _assemble(
+    left: Frame,
+    right: Frame,
+    on: Sequence[str],
+    suffix: str,
+    l_idx: np.ndarray,
+    r_idx: np.ndarray,
+    null_mask: np.ndarray | None,
+) -> Frame:
+    data: dict[str, np.ndarray] = {}
+    for name in left.columns:
+        data[name] = left.col(name)[l_idx]
+    for name in right.columns:
+        if name in on:
+            continue
+        out_name = name + suffix if name in data else name
+        col = right.col(name)
+        if len(col) == 0 and len(r_idx):
+            # Right side empty: every output row is an unmatched fill row.
+            if is_string_kind(col):
+                taken = np.array([""] * len(r_idx), dtype=object)
+            else:
+                taken = np.full(len(r_idx), np.nan)
+            data[out_name] = taken
+            continue
+        if len(r_idx):
+            taken = col[r_idx]
+        else:
+            taken = col[:0]
+        if null_mask is not None and null_mask.any():
+            if is_string_kind(col):
+                taken = taken.astype(object)
+                taken[null_mask] = ""
+            else:
+                taken = taken.astype(np.float64)
+                taken[null_mask] = np.nan
+        data[out_name] = taken
+    out = Frame()
+    out._data = data  # type: ignore[attr-defined]
+    return out

@@ -1,0 +1,47 @@
+"""RAS and job log schemas, typed containers, and text io.
+
+The RAS log schema mirrors Table II of the paper (the record emitted by
+the BG/P Core Monitoring and Control System); the job log schema mirrors
+Table III (the record kept by the Cobalt scheduler). Both logs live in
+:class:`repro.frame.Frame` columns internally and round-trip through a
+pipe-delimited text format, so the pipeline also runs on real exported
+logs that use the same fields.
+"""
+
+from repro.logs.ras import (
+    COMPONENTS,
+    RAS_COLUMNS,
+    SEVERITIES,
+    Component,
+    RasLog,
+    RasRecord,
+    Severity,
+)
+from repro.logs.job import JOB_COLUMNS, JobLog, JobRecord
+from repro.logs.textio import (
+    format_bgp_time,
+    parse_bgp_time,
+    read_job_log,
+    read_ras_log,
+    write_job_log,
+    write_ras_log,
+)
+
+__all__ = [
+    "RasRecord",
+    "RasLog",
+    "RAS_COLUMNS",
+    "Severity",
+    "SEVERITIES",
+    "Component",
+    "COMPONENTS",
+    "JobRecord",
+    "JobLog",
+    "JOB_COLUMNS",
+    "format_bgp_time",
+    "parse_bgp_time",
+    "read_ras_log",
+    "write_ras_log",
+    "read_job_log",
+    "write_job_log",
+]

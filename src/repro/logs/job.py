@@ -1,0 +1,142 @@
+"""The Cobalt job record (Table III) and its columnar container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.frame import Frame
+
+#: canonical job frame columns, Table III fields plus the size in
+#: midplanes (recoverable from location, materialized for analysis).
+JOB_COLUMNS = (
+    "job_id",
+    "job_name",
+    "executable",
+    "queued_time",
+    "start_time",
+    "end_time",
+    "location",
+    "user",
+    "project",
+    "size_midplanes",
+)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job, fields as in Table III.
+
+    Times are epoch seconds (the real Cobalt log stores epoch floats for
+    queuing/starting/end time, cf. Table III). ``location`` is a
+    partition name such as ``R10-R11``; ``executable`` identifies the
+    *distinct job* — the paper treats jobs sharing an execution file as
+    one distinct job.
+    """
+
+    job_id: int
+    job_name: str
+    executable: str
+    queued_time: float
+    start_time: float
+    end_time: float
+    location: str
+    user: str
+    project: str
+    size_midplanes: int
+
+    def __post_init__(self):
+        if self.end_time < self.start_time:
+            raise ValueError(
+                f"job {self.job_id}: end {self.end_time} before start "
+                f"{self.start_time}"
+            )
+        if self.start_time < self.queued_time:
+            raise ValueError(
+                f"job {self.job_id}: started before it was queued"
+            )
+
+    @property
+    def runtime(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.queued_time
+
+
+class JobLog:
+    """A job log: thin typed wrapper around a :class:`Frame`."""
+
+    def __init__(self, frame: Frame):
+        missing = [c for c in JOB_COLUMNS if c not in frame]
+        if missing:
+            raise ValueError(f"job frame missing columns {missing}")
+        self.frame = frame
+
+    @classmethod
+    def from_records(cls, records: Iterable[JobRecord]) -> "JobLog":
+        records = sorted(records, key=lambda r: (r.start_time, r.job_id))
+        if not records:
+            return cls(_empty_job_frame())
+        data: dict[str, list] = {c: [] for c in JOB_COLUMNS}
+        for r in records:
+            for c in JOB_COLUMNS:
+                data[c].append(getattr(r, c))
+        return cls(Frame(data))
+
+    def to_records(self) -> list["JobRecord"]:
+        return [JobRecord(**row) for row in self.frame.to_rows()]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.frame.num_rows
+
+    @property
+    def num_jobs(self) -> int:
+        return self.frame.num_rows
+
+    def num_distinct_jobs(self) -> int:
+        """Jobs sharing an execution file count once (§III-B)."""
+        return self.frame.nunique("executable")
+
+    def resubmitted_executables(self) -> np.ndarray:
+        """Execution files submitted more than once, sorted."""
+        vc = self.frame.value_counts("executable")
+        return np.sort(vc.filter(vc["count"] > 1)["executable"])
+
+    def runtimes(self) -> np.ndarray:
+        return self.frame["end_time"] - self.frame["start_time"]
+
+    def time_span(self) -> tuple[float, float]:
+        if not len(self):
+            raise ValueError("empty log has no time span")
+        return float(self.frame["start_time"].min()), float(
+            self.frame["end_time"].max()
+        )
+
+    def running_at(self, t: float) -> "JobLog":
+        """Jobs running at instant *t* (start inclusive, end exclusive)."""
+        f = self.frame
+        return JobLog(f.filter((f["start_time"] <= t) & (f["end_time"] > t)))
+
+
+def _empty_job_frame() -> Frame:
+    dtypes = {
+        "job_id": np.int64,
+        "queued_time": np.float64,
+        "start_time": np.float64,
+        "end_time": np.float64,
+        "size_midplanes": np.int64,
+    }
+    return Frame(
+        {c: np.array([], dtype=dtypes.get(c, object)) for c in JOB_COLUMNS}
+    )
+
+
+def empty_job_log() -> JobLog:
+    """An empty job log with the canonical schema."""
+    return JobLog(_empty_job_frame())

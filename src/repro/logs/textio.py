@@ -1,0 +1,100 @@
+"""Text serialization for RAS and job logs.
+
+RAS timestamps use the BG/P form seen in Table II
+(``2008-04-14-15.08.12.285324``); job logs keep epoch floats the way
+Cobalt does (Table III). Both logs serialize as pipe-delimited text via
+:mod:`repro.frame.io`, with RAS event times converted to the BG/P form
+on disk and back to epoch seconds in memory.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame import Frame
+from repro.frame.io import read_delimited, write_delimited
+from repro.logs.job import JOB_COLUMNS, JobLog
+from repro.logs.ras import RAS_COLUMNS, RasLog
+
+_BGP_FMT = "%Y-%m-%d-%H.%M.%S.%f"
+
+
+def format_bgp_time(epoch_seconds: float) -> str:
+    """Render epoch seconds as a BG/P RAS timestamp (UTC)."""
+    dt = datetime.fromtimestamp(float(epoch_seconds), tz=timezone.utc)
+    return dt.strftime(_BGP_FMT)
+
+
+def parse_bgp_time(text: str) -> float:
+    """Parse a BG/P RAS timestamp back to epoch seconds (UTC)."""
+    dt = datetime.strptime(text, _BGP_FMT).replace(tzinfo=timezone.utc)
+    return dt.timestamp()
+
+
+def write_ras_log(log: RasLog, path: str | Path) -> None:
+    """Write a RAS log with human-readable BG/P timestamps."""
+    frame = log.frame
+    rendered = frame.with_column(
+        "event_time_bgp",
+        np.array([format_bgp_time(t) for t in frame["event_time"]], dtype=object),
+    ).drop("event_time")
+    order = ["recid", "msg_id", "component", "subcomponent", "errcode",
+             "severity", "event_time_bgp", "location", "serialnumber", "message"]
+    write_delimited(rendered.select(order), path)
+
+
+def read_ras_log(path: str | Path) -> RasLog:
+    """Read a RAS log written by :func:`write_ras_log`."""
+    raw = read_delimited(path)
+    epoch = np.array(
+        [parse_bgp_time(t) for t in raw["event_time_bgp"]], dtype=np.float64
+    )
+    frame = raw.with_column("event_time", epoch).drop("event_time_bgp")
+    return RasLog(frame.select(list(RAS_COLUMNS)))
+
+
+def write_job_log(log: JobLog, path: str | Path) -> None:
+    """Write a job log (epoch-second times, Cobalt style)."""
+    write_delimited(log.frame.select(list(JOB_COLUMNS)), path)
+
+
+def read_job_log(path: str | Path) -> JobLog:
+    """Read a job log written by :func:`write_job_log`."""
+    return JobLog(read_delimited(path))
+
+
+def describe_ras_record(frame_row: dict) -> str:
+    """Render one RAS row in the vertical card layout of Table II."""
+    lines = [
+        f"RECID        {frame_row['recid']}",
+        f"MSG_ID       {frame_row['msg_id']}",
+        f"COMPONENT    {frame_row['component']}",
+        f"SUBCOMPONENT {frame_row['subcomponent']}",
+        f"ERRCODE      {frame_row['errcode']}",
+        f"SEVERITY     {frame_row['severity']}",
+        f"EVENT_TIME   {format_bgp_time(frame_row['event_time'])}",
+        f"LOCATION     {frame_row['location']}",
+        f"SERIALNUMBER {frame_row['serialnumber']}",
+        f"MESSAGE      {frame_row['message']}",
+    ]
+    return "\n".join(lines)
+
+
+def describe_job_record(frame_row: dict) -> str:
+    """Render one job row in the vertical card layout of Table III."""
+    lines = [
+        f"Job ID          {frame_row['job_id']}",
+        f"Job Name        {frame_row['job_name']}",
+        f"Execution File  {frame_row['executable']}",
+        f"Queuing Time    {frame_row['queued_time']}",
+        f"Starting Time   {frame_row['start_time']}",
+        f"End Time        {frame_row['end_time']}",
+        f"Location        {frame_row['location']}",
+        f"User            {frame_row['user']}",
+        f"Project         {frame_row['project']}",
+        f"Size(midplanes) {frame_row['size_midplanes']}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Blue Gene/P machine model for the 40-rack Intrepid system.
+
+The model covers everything the co-analysis needs from the hardware
+description in §III of the paper:
+
+* **location codes** (:mod:`repro.machine.location`): the hierarchical
+  names that appear in the RAS log LOCATION field — racks ``R<rc>``,
+  midplanes ``R<rc>-M<m>``, node cards ``-N<nn>``, compute nodes
+  ``-J<jj>``, service cards ``-S`` and link cards ``-L<l>`` — with
+  parsing, formatting, containment, and global midplane indexing;
+* **topology** (:mod:`repro.machine.topology`): Intrepid's 5×8 rack
+  grid, 80 midplanes, 40,960 compute nodes, plus enumeration helpers;
+* **partitions** (:mod:`repro.machine.partition`): Cobalt's
+  midplane-granularity partitions (sizes 1–80 midplanes, adjacent
+  joins only), the names that appear in the job log LOCATION field
+  (``R10-M0``, ``R10``, ``R10-R13``), and overlap tests used to match
+  RAS events to running jobs.
+"""
+
+from repro.machine.location import Location, LocationKind, parse_location
+from repro.machine.partition import (
+    ALLOWED_PARTITION_SIZES,
+    Partition,
+    PartitionPool,
+    parse_partition,
+)
+from repro.machine.topology import IntrepidTopology
+
+__all__ = [
+    "Location",
+    "LocationKind",
+    "parse_location",
+    "Partition",
+    "PartitionPool",
+    "parse_partition",
+    "ALLOWED_PARTITION_SIZES",
+    "IntrepidTopology",
+]

@@ -1,0 +1,31 @@
+"""The Cobalt-like scheduler simulation.
+
+An event-driven replay of the Intrepid operational behaviour the paper
+describes:
+
+* midplane-granularity partition allocation with the observed placement
+  policy (small jobs to the edge rows, midplanes 33–64 reserved for
+  wide jobs, §V-B);
+* 57.4% same-partition affinity for resubmitted jobs (Obs. 3/9);
+* "reboot before execution" that clears some — not all — latent
+  hardware breakage (§III-A, §VI-D);
+* sticky breakages that keep killing newly scheduled jobs until
+  detected and repaired (§IV-B/C), transient strikes, propagating
+  shared-file-system errors (§VI-C), and the application-error model.
+
+The entry point is :class:`repro.sched.cobalt.CobaltSimulator`.
+"""
+
+from repro.sched.cobalt import CobaltSimulator, SimulationOutput
+from repro.sched.events import EventQueue
+from repro.sched.policy import IntrepidPolicy
+from repro.sched.repair import Breakage, BreakageTable
+
+__all__ = [
+    "CobaltSimulator",
+    "SimulationOutput",
+    "EventQueue",
+    "IntrepidPolicy",
+    "Breakage",
+    "BreakageTable",
+]

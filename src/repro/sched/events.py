@@ -1,0 +1,58 @@
+"""A cancellable priority event queue for the discrete-event simulation."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Binary-heap event queue with O(1) cancellation tokens.
+
+    Ties at equal time break by insertion order, which keeps the
+    simulation deterministic for a fixed seed.
+    """
+
+    def __init__(self):
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> _Entry:
+        """Schedule an event; the returned token can cancel it."""
+        entry = _Entry(time=float(time), seq=next(self._seq), kind=kind, payload=payload)
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, token: _Entry) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        if not token.cancelled:
+            token.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> _Entry | None:
+        """The next live event, or None when the queue is drained."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                self._live -= 1
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,86 @@
+"""A failure-aware allocation policy (§VII / CiFTS direction).
+
+The paper's closing recommendation: give the scheduler "fatal events
+information including event time, location, category, and recovery
+status" so it stops feeding jobs to broken hardware. This policy wraps
+:class:`repro.sched.policy.IntrepidPolicy` with exactly that feedback
+loop — the simulator reports every interruption it observes, and the
+policy then avoids partitions overlapping recently-killed midplanes for
+a cool-down window (and refuses same-partition retry affinity onto
+them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.partition import Partition, PartitionPool
+from repro.machine.topology import NUM_MIDPLANES
+from repro.sched.policy import IntrepidPolicy
+
+
+@dataclass
+class FailureAwarePolicy:
+    """IntrepidPolicy plus recent-failure avoidance.
+
+    Parameters
+    ----------
+    cooldown:
+        Seconds a killed midplane stays quarantined. The co-analysis
+        motivates the scale: Figure 7's category-1 risk peaks on the
+        *next* placements, and undetected breakages age into repair on
+        a roughly day-long horizon — quarantining shorter re-exposes
+        jobs to still-broken hardware.
+    base:
+        The underlying placement policy (affinity, regions).
+    """
+
+    cooldown: float = 24 * 3600.0
+    base: IntrepidPolicy = field(default_factory=IntrepidPolicy)
+    _last_kill: np.ndarray = field(
+        default_factory=lambda: np.full(NUM_MIDPLANES, -np.inf), repr=False
+    )
+
+    @property
+    def pool(self) -> PartitionPool:
+        return self.base.pool
+
+    @property
+    def affinity(self) -> float:
+        return self.base.affinity
+
+    def observe_interruption(self, time: float, partition: Partition) -> None:
+        """Feedback from the runtime: a job died on this partition."""
+        sl = slice(partition.start, partition.start + partition.size)
+        self._last_kill[sl] = np.maximum(self._last_kill[sl], time)
+
+    def choose(
+        self,
+        size_midplanes: int,
+        free: np.ndarray,
+        rng: np.random.Generator,
+        preferred: Partition | None = None,
+        now: float = 0.0,
+    ) -> Partition | None:
+        """A free partition avoiding quarantined midplanes when possible.
+
+        Falls back to quarantined hardware rather than leaving the job
+        queued forever — availability beats caution once nothing clean
+        is free (same trade the real CiFTS integrations made).
+        """
+        quarantined = (now - self._last_kill) < self.cooldown
+        clean_free = free & ~quarantined
+        if preferred is not None and self._overlaps_quarantine(preferred, quarantined):
+            preferred = None
+        choice = self.base.choose(size_midplanes, clean_free, rng, preferred=preferred)
+        if choice is not None:
+            return choice
+        return self.base.choose(size_midplanes, free, rng, preferred=preferred)
+
+    @staticmethod
+    def _overlaps_quarantine(partition: Partition, quarantined: np.ndarray) -> bool:
+        return bool(
+            quarantined[partition.start : partition.start + partition.size].any()
+        )

@@ -1,0 +1,17 @@
+"""End-to-end Intrepid trace simulation.
+
+:class:`IntrepidSimulation` wires the workload generator, the Cobalt
+scheduler simulation, the fault processes and the RAS storm emitter
+into one call that produces the (ras_log, job_log) pair the paper
+analyzes, plus the hidden ground truth used to score the analysis.
+
+:class:`CalibrationProfile` holds every knob, pre-tuned so the default
+full-scale run lands near the paper's headline counts (Table I volumes,
+§IV event counts, §VI interruption counts). ``scale`` shrinks the whole
+trace proportionally for tests and quick experiments.
+"""
+
+from repro.simulate.calibration import CalibrationProfile
+from repro.simulate.intrepid import IntrepidSimulation, IntrepidTrace
+
+__all__ = ["CalibrationProfile", "IntrepidSimulation", "IntrepidTrace"]

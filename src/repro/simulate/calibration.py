@@ -1,0 +1,127 @@
+"""Calibration knobs for the Intrepid trace simulation.
+
+Defaults target the paper's published totals at ``scale=1.0``:
+
+* Table I: ~2.08 M RAS records, ~33.4 k FATAL, ~68.8 k jobs over 237
+  days starting 2009-01-05;
+* §III-B: 9,664 distinct executables, 5,547 multi-submitted;
+* §IV: ~550 independent fatal events, ~72 job-related redundant;
+* §VI: ~300 interrupted jobs, roughly 2:1 system:application.
+
+``scale`` multiplies every volume (submissions, executables, incident
+budgets, noise records) while keeping the 237-day window, so rates
+shrink proportionally and every analysis still runs end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.apperrors import ApplicationErrorModel
+from repro.faults.processes import SystemFaultProcess
+from repro.faults.storms import StormEmitter
+from repro.sched.cobalt import CobaltSimulator
+from repro.sched.policy import IntrepidPolicy
+from repro.sched.repair import BreakageTable
+from repro.workload.population import Population, PopulationProfile
+from repro.workload.sampler import WorkloadSampler
+
+#: 2009-01-05 00:00:00 UTC — the Table I start date
+INTREPID_T_START = 1231113600.0
+#: 237 days — the Table I span
+INTREPID_DURATION = 237 * 86400.0
+
+
+@dataclass(frozen=True)
+class CalibrationProfile:
+    """All tuning knobs, with paper-calibrated defaults."""
+
+    seed: int = 2011
+    scale: float = 1.0
+    t_start: float = INTREPID_T_START
+    duration: float = INTREPID_DURATION
+
+    # workload
+    total_submissions: int = 68794
+    num_executables: int = 9664
+    bucket_spill: float = 0.0
+
+    # system fault volumes (expected counts over the window at scale=1)
+    ambient_count_mean: float = 250.0
+    nonfatal_count_mean: float = 115.0
+    hazard_coeff: float = 2.4e-4
+    sticky_fraction: float = 0.5
+
+    # application errors
+    buggy_fraction: float = 0.009
+
+    # scheduler behaviour
+    affinity: float = 0.75
+    retry_probability_system: float = 0.85
+
+    # raw-log volumes
+    noise_count_mean: float = 2_051_022.0
+    storm_scale: float = 0.32
+
+    def __post_init__(self):
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    # ------------------------------------------------------------------
+    # component builders
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def population_profile(self) -> PopulationProfile:
+        n_exe = max(50, int(round(self.num_executables * self.scale)))
+        n_subs = max(n_exe, int(round(self.total_submissions * self.scale)))
+        return PopulationProfile(
+            num_executables=n_exe,
+            total_submissions=n_subs,
+        )
+
+    def app_error_model(self) -> ApplicationErrorModel:
+        return ApplicationErrorModel(buggy_fraction=self.buggy_fraction)
+
+    def make_population(self, rng: np.random.Generator) -> Population:
+        return Population.generate(
+            rng, profile=self.population_profile(), app_errors=self.app_error_model()
+        )
+
+    def make_sampler(self) -> WorkloadSampler:
+        return WorkloadSampler(
+            t_start=self.t_start,
+            duration=self.duration,
+            bucket_spill=self.bucket_spill,
+        )
+
+    def make_process(self) -> SystemFaultProcess:
+        return SystemFaultProcess(
+            duration=self.duration,
+            ambient_count_mean=self.ambient_count_mean * self.scale,
+            nonfatal_count_mean=self.nonfatal_count_mean * self.scale,
+            hazard_coeff=self.hazard_coeff,
+            sticky_fraction=self.sticky_fraction,
+        )
+
+    def make_simulator(self, population: Population) -> CobaltSimulator:
+        return CobaltSimulator(
+            process=self.make_process(),
+            app_errors=population.app_errors,
+            policy=IntrepidPolicy(affinity=self.affinity),
+            breakages=BreakageTable(),
+            t_start=self.t_start,
+            duration=self.duration,
+            retry_probability_system=self.retry_probability_system,
+        )
+
+    def make_emitter(self) -> StormEmitter:
+        return StormEmitter(
+            t_start=self.t_start,
+            duration=self.duration,
+            noise_count_mean=self.noise_count_mean * self.scale,
+            storm_scale=self.storm_scale,
+        )

@@ -1,0 +1,44 @@
+"""Statistics substrate for the co-analysis study.
+
+Implements exactly the statistical machinery §V–VI of the paper uses:
+
+* maximum-likelihood **Weibull** and **exponential** fits of failure /
+  interruption interarrival times (Tables IV and V);
+* the **likelihood-ratio test** deciding between them (Weibull nests the
+  exponential at shape = 1), plus AIC for non-nested comparison;
+* **empirical CDFs** for Figures 3 and 6;
+* **Pearson correlation** of event-type occurrence vectors, used to
+  assign unlabeled fatal types to the nearest labeled category (§IV-B);
+* **information-gain-ratio** feature ranking for the job-vulnerability
+  study (§VI-D, ref. [26]);
+* bootstrap confidence intervals for headline rates.
+"""
+
+from repro.stats.ecdf import EmpiricalCDF
+from repro.stats.exponential import ExponentialFit, fit_exponential
+from repro.stats.weibull import WeibullFit, fit_weibull
+from repro.stats.lrt import ModelComparison, compare_interarrival_models
+from repro.stats.correlation import occurrence_matrix, pearson, pearson_matrix
+from repro.stats.infogain import entropy, gain_ratio, rank_features
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.hazard import NelsonAalen, hazard_rate_curve, is_decreasing_hazard
+
+__all__ = [
+    "EmpiricalCDF",
+    "ExponentialFit",
+    "fit_exponential",
+    "WeibullFit",
+    "fit_weibull",
+    "ModelComparison",
+    "compare_interarrival_models",
+    "pearson",
+    "pearson_matrix",
+    "occurrence_matrix",
+    "entropy",
+    "gain_ratio",
+    "rank_features",
+    "bootstrap_ci",
+    "NelsonAalen",
+    "hazard_rate_curve",
+    "is_decreasing_hazard",
+]

@@ -1,0 +1,53 @@
+"""Bootstrap confidence intervals for headline statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile-bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of *statistic* over *samples*.
+
+    MTBF/MTTI point estimates in the paper come from MLE fits; this
+    utility quantifies how much the small interruption counts (e.g. the
+    206 category-1 interruptions) wobble those headline means.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1 or len(x) == 0:
+        raise ValueError("need a non-empty 1-D sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = rng or np.random.default_rng()
+    idx = rng.integers(0, len(x), size=(n_resamples, len(x)))
+    stats = np.apply_along_axis(statistic, 1, x[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(statistic(x)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

@@ -1,0 +1,80 @@
+"""Pearson correlation of event-type occurrence vectors.
+
+§IV-B assigns each unlabeled fatal event type the category (system
+failure vs application error) of the labeled type it correlates with
+most strongly. The occurrence vector of a type counts its events per
+time bin; correlation is computed between those vectors, following the
+temporal-correlation construction of ref. [12].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's r for two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (no linear association
+    measurable), which is the convention the classifier wants: a type
+    that never co-occurs with anything should not win ties.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("need two equal-length 1-D vectors")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = np.sqrt(np.dot(xd, xd) * np.dot(yd, yd))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(xd, yd) / denom)
+
+
+def occurrence_matrix(
+    times: np.ndarray,
+    type_codes: np.ndarray,
+    n_types: int,
+    bin_width: float,
+    t_start: float | None = None,
+    t_end: float | None = None,
+) -> np.ndarray:
+    """Per-type occurrence counts over uniform time bins.
+
+    Returns an ``(n_types, n_bins)`` int array where entry ``(k, b)``
+    counts type-*k* events whose timestamp falls in bin *b*.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    type_codes = np.asarray(type_codes)
+    if times.shape != type_codes.shape:
+        raise ValueError("times and type_codes must align")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if len(times) == 0:
+        return np.zeros((n_types, 1), dtype=np.int64)
+    t0 = times.min() if t_start is None else t_start
+    t1 = times.max() if t_end is None else t_end
+    n_bins = max(1, int(np.floor((t1 - t0) / bin_width)) + 1)
+    bins = np.clip(((times - t0) / bin_width).astype(np.int64), 0, n_bins - 1)
+    flat = type_codes.astype(np.int64) * n_bins + bins
+    counts = np.bincount(flat, minlength=n_types * n_bins)
+    return counts.reshape(n_types, n_bins)
+
+
+def pearson_matrix(occurrences: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlation between the rows of *occurrences*.
+
+    Rows with zero variance get zero correlation against everything
+    (including themselves), matching :func:`pearson`.
+    """
+    occ = np.asarray(occurrences, dtype=np.float64)
+    if occ.ndim != 2:
+        raise ValueError("need a 2-D occurrence matrix")
+    centered = occ - occ.mean(axis=1, keepdims=True)
+    norms = np.sqrt((centered**2).sum(axis=1))
+    safe = np.where(norms == 0.0, 1.0, norms)
+    unit = centered / safe[:, None]
+    corr = unit @ unit.T
+    corr[norms == 0.0, :] = 0.0
+    corr[:, norms == 0.0] = 0.0
+    return corr

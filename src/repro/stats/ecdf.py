@@ -1,0 +1,66 @@
+"""Empirical cumulative distribution functions (Figures 3 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a 1-D sample."""
+
+    sorted_values: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "EmpiricalCDF":
+        x = np.asarray(samples, dtype=np.float64)
+        if x.ndim != 1 or len(x) == 0:
+            raise ValueError("need a non-empty 1-D sample")
+        if np.any(~np.isfinite(x)):
+            raise ValueError("samples must be finite")
+        return cls(sorted_values=np.sort(x))
+
+    @property
+    def n(self) -> int:
+        return len(self.sorted_values)
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=np.float64)
+        out = np.searchsorted(self.sorted_values, t, side="right") / self.n
+        return out if out.ndim else float(out)
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        """Inverse CDF via the nearest-rank method."""
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        idx = np.minimum((np.ceil(q * self.n) - 1).astype(int), self.n - 1)
+        idx = np.maximum(idx, 0)
+        out = self.sorted_values[idx]
+        return out if out.ndim else float(out)
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """The staircase vertices ``(x_i, i/n)`` for plotting."""
+        return self.sorted_values, np.arange(1, self.n + 1) / self.n
+
+    def log_spaced_series(self, num: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """CDF evaluated on a log-spaced grid (the paper's Figures 3/6
+        use a log time axis)."""
+        lo = max(self.sorted_values[0], 1e-9)
+        hi = self.sorted_values[-1]
+        if hi <= lo:
+            grid = np.array([lo])
+        else:
+            grid = np.logspace(np.log10(lo), np.log10(hi), num)
+            grid[-1] = hi  # guard against log/exp round-off at the endpoint
+        return grid, np.asarray(self(grid))
+
+    def ks_distance(self, cdf) -> float:
+        """Sup-norm distance to a model CDF callable (fit diagnostics)."""
+        x = self.sorted_values
+        model = np.asarray(cdf(x), dtype=np.float64)
+        upper = np.arange(1, self.n + 1) / self.n
+        lower = np.arange(0, self.n) / self.n
+        return float(np.max(np.maximum(np.abs(model - upper), np.abs(model - lower))))

@@ -1,0 +1,56 @@
+"""Maximum-likelihood exponential fitting (the paper's baseline model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """A fitted exponential distribution (rate parameterization)."""
+
+    rate: float
+    n: int
+    log_likelihood: float
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / self.rate**2
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=np.float64)
+        out = -np.expm1(-self.rate * np.maximum(t, 0.0))
+        return out if out.ndim else float(out)
+
+    def sf(self, t: np.ndarray | float) -> np.ndarray | float:
+        t = np.asarray(t, dtype=np.float64)
+        out = np.exp(-self.rate * np.maximum(t, 0.0))
+        return out if out.ndim else float(out)
+
+    def hazard(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Constant hazard — the memoryless property the paper refutes."""
+        t = np.asarray(t, dtype=np.float64)
+        out = np.full_like(t, self.rate)
+        return out if out.ndim else float(out)
+
+
+def fit_exponential(samples: np.ndarray) -> ExponentialFit:
+    """MLE exponential fit: rate = 1 / sample mean."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("samples must be 1-D")
+    if len(x) < 1:
+        raise ValueError("need at least 1 sample")
+    if np.any(x <= 0) or np.any(~np.isfinite(x)):
+        raise ValueError("samples must be positive and finite")
+    mean = float(x.mean())
+    rate = 1.0 / mean
+    n = len(x)
+    loglik = float(n * np.log(rate) - rate * x.sum())
+    return ExponentialFit(rate=rate, n=n, log_likelihood=loglik)

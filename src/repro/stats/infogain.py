@@ -1,0 +1,91 @@
+"""Information-gain-ratio feature ranking (§VI-D.2, ref. [26]).
+
+The paper ranks five job features (user, project, execution time, size,
+location) by how much they explain the binary interrupted/completed
+outcome. Gain ratio normalizes information gain by the feature's own
+entropy so many-valued features don't win by fragmentation — the reason
+the "suspicious user" feature scores low despite covering 53% of
+interruptions (Observation 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame.column import factorize
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (bits) of a categorical label vector."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if len(labels) == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())
+
+
+def conditional_entropy(labels: np.ndarray, feature: np.ndarray) -> float:
+    """H(labels | feature) for categorical vectors."""
+    labels = np.asarray(labels)
+    feature = np.asarray(feature)
+    if labels.shape != feature.shape:
+        raise ValueError("labels and feature must align")
+    if len(labels) == 0:
+        return 0.0
+    fcodes, funiq = factorize(feature)
+    total = len(labels)
+    h = 0.0
+    for k in range(len(funiq)):
+        mask = fcodes == k
+        h += mask.sum() / total * entropy(labels[mask])
+    return float(h)
+
+
+def information_gain(labels: np.ndarray, feature: np.ndarray) -> float:
+    """IG = H(labels) − H(labels | feature)."""
+    return entropy(labels) - conditional_entropy(labels, feature)
+
+
+def gain_ratio(labels: np.ndarray, feature: np.ndarray) -> float:
+    """IG normalized by the feature's split entropy.
+
+    Zero when the feature is constant (no split, no information).
+    """
+    split = entropy(feature)
+    if split == 0.0:
+        return 0.0
+    return information_gain(labels, feature) / split
+
+
+@dataclass(frozen=True)
+class FeatureScore:
+    """One feature's ranking entry."""
+
+    name: str
+    gain_ratio: float
+    information_gain: float
+
+
+def rank_features(
+    labels: np.ndarray, features: dict[str, np.ndarray]
+) -> list[FeatureScore]:
+    """Rank categorical *features* by gain ratio, best first.
+
+    Ties break by information gain, then name (deterministic output for
+    the vulnerability report).
+    """
+    scores = [
+        FeatureScore(
+            name=name,
+            gain_ratio=gain_ratio(labels, feat),
+            information_gain=information_gain(labels, feat),
+        )
+        for name, feat in features.items()
+    ]
+    scores.sort(key=lambda s: (-s.gain_ratio, -s.information_gain, s.name))
+    return scores

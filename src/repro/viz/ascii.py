@@ -1,0 +1,127 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline (8 levels) of a numeric series."""
+    v = np.asarray(list(values), dtype=np.float64)
+    if len(v) == 0:
+        return ""
+    lo, hi = float(v.min()), float(v.max())
+    if hi == lo:
+        return _SPARK_LEVELS[4] * len(v)
+    idx = np.round((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 2)).astype(int)
+    return "".join(_SPARK_LEVELS[i + 1] for i in idx)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned labels and values."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return ""
+    vmax = max(max(values), 1e-12)
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "#" * max(0, int(round(width * v / vmax)))
+        lines.append(f"{label:>{label_w}} | {bar} {v:g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(
+    samples: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    log_bins: bool = False,
+) -> str:
+    """Binned counts of a sample as a bar chart.
+
+    ``log_bins`` uses logarithmically spaced edges — the natural view
+    for interarrival times spanning seconds to days.
+    """
+    x = np.asarray(list(samples), dtype=np.float64)
+    if len(x) == 0:
+        return "(empty)"
+    if log_bins:
+        lo = max(x.min(), 1e-9)
+        edges = np.logspace(np.log10(lo), np.log10(x.max() + 1e-9), bins + 1)
+    else:
+        edges = np.linspace(x.min(), x.max() + 1e-9, bins + 1)
+    counts, _ = np.histogram(x, bins=edges)
+    labels = [f"{edges[i]:.3g}-{edges[i + 1]:.3g}" for i in range(bins)]
+    return bar_chart(labels, counts.tolist(), width=width)
+
+
+def cdf_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 50,
+    height: int = 12,
+) -> str:
+    """A coarse staircase plot of a CDF series on a character grid.
+
+    *x* should already be on the desired axis scale (pass log-spaced
+    points for a log axis)."""
+    xv = np.asarray(list(x), dtype=np.float64)
+    yv = np.asarray(list(y), dtype=np.float64)
+    if xv.shape != yv.shape or len(xv) == 0:
+        raise ValueError("need equal-length non-empty series")
+    grid = [[" "] * width for _ in range(height)]
+    xi = np.interp(
+        np.linspace(0, len(xv) - 1, width), np.arange(len(xv)), yv
+    )
+    for col, v in enumerate(xi):
+        row = height - 1 - int(round(v * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = "*"
+    lines = ["1.0 |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append("    |" + "".join(grid[r]))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {xv[0]:.3g}{'':>{max(1, width - 16)}}{xv[-1]:.3g}")
+    return "\n".join(lines)
+
+
+def series_table(
+    columns: dict[str, Sequence[float]],
+    index: Sequence | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Aligned table of parallel series, one row per index entry."""
+    if not columns:
+        return ""
+    names = list(columns)
+    arrays = [list(columns[n]) for n in names]
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all series must share a length")
+    idx = list(index) if index is not None else list(range(n))
+    widths = [max(len(name), 10) for name in names]
+    header = f"{'':>8} " + " ".join(
+        f"{name:>{w}}" for name, w in zip(names, widths)
+    )
+    lines = [header]
+    for i in range(n):
+        cells = " ".join(
+            f"{float_format.format(float(a[i])):>{w}}"
+            for a, w in zip(arrays, widths)
+        )
+        lines.append(f"{str(idx[i]):>8} " + cells)
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Users, projects, and distinct executables of the workload.
+
+The paper's population facts (§III-B, §VI-D):
+
+* 236 users, of whom 16 "suspicious" users account for 53.25% of job
+  interruptions;
+* 91 projects, of whom 19 account for 74% of interruptions;
+* 9,664 distinct execution files; 5,547 submitted more than once;
+* even suspicious users fail on under 1% of their jobs (Obs. 12).
+
+Construction is stratified by Table VI cell: executables are allocated
+to (size, runtime-bucket) cells in proportion to the published joint
+distribution, and each cell's submission budget matches the published
+cell count, so the synthetic workload reproduces Table VI's margins by
+construction. Suspicious users preferentially own wide-job executables
+(their campaigns are the capability runs) and carry a higher
+buggy-executable rate, so their interruption share emerges from usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.apperrors import ApplicationErrorModel
+from repro.workload.tables import (
+    RUNTIME_BUCKETS,
+    SIZE_CLASSES,
+    TABLE_VI_TOTALS,
+)
+
+
+@dataclass(frozen=True)
+class Executable:
+    """One distinct execution file and its characteristic job shape."""
+
+    path: str
+    user: str
+    project: str
+    size_midplanes: int
+    runtime_bucket: int
+    planned_submissions: int
+
+
+@dataclass(frozen=True)
+class PopulationProfile:
+    """Knobs for population synthesis (defaults = paper's §III-B)."""
+
+    num_users: int = 236
+    num_suspicious_users: int = 16
+    num_projects: int = 91
+    num_suspicious_projects: int = 19
+    num_executables: int = 9664
+    total_submissions: int = 68794
+    #: share of executables submitted more than once (5,547 / 9,664)
+    multi_submission_share: float = 5547 / 9664
+    #: extra submission volume weight for suspicious users
+    suspicious_volume_boost: float = 3.0
+    #: multiplier on the buggy-executable probability for suspicious users
+    suspicious_bug_boost: float = 4.0
+    #: how strongly suspicious users gravitate to wide-job executables
+    suspicious_size_tilt: float = 0.9
+    #: lognormal sigma of the multi-submitters' extra load
+    submission_spread_sigma: float = 1.6
+
+
+@dataclass
+class Population:
+    """The synthesized user/project/executable population."""
+
+    profile: PopulationProfile
+    users: list[str] = field(default_factory=list)
+    suspicious_users: set[str] = field(default_factory=set)
+    projects: list[str] = field(default_factory=list)
+    suspicious_projects: set[str] = field(default_factory=set)
+    executables: list[Executable] = field(default_factory=list)
+    app_errors: ApplicationErrorModel = field(default_factory=ApplicationErrorModel)
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        profile: PopulationProfile | None = None,
+        app_errors: ApplicationErrorModel | None = None,
+    ) -> "Population":
+        """Synthesize a population consistent with the paper's counts."""
+        p = profile or PopulationProfile()
+        pop = cls(profile=p, app_errors=app_errors or ApplicationErrorModel())
+
+        pop.users = [f"u{i:03d}" for i in range(1, p.num_users + 1)]
+        pop.suspicious_users = set(
+            rng.choice(pop.users, size=p.num_suspicious_users, replace=False)
+        )
+        pop.projects = [f"proj{i:02d}" for i in range(1, p.num_projects + 1)]
+        pop.suspicious_projects = set(
+            rng.choice(pop.projects, size=p.num_suspicious_projects, replace=False)
+        )
+
+        user_project = pop._assign_projects(rng)
+        user_weights = pop._user_weights(rng)
+
+        # --- stratified executable + submission-count construction -----
+        cell_exe_counts, cell_sub_budgets = _allocate_cells(p)
+        exe_id = 0
+        n_buckets = len(RUNTIME_BUCKETS)
+        for cell_index in range(cell_exe_counts.size):
+            size_i, bucket_i = divmod(cell_index, n_buckets)
+            n_exe = int(cell_exe_counts.flat[cell_index])
+            budget = int(cell_sub_budgets.flat[cell_index])
+            if n_exe == 0:
+                continue
+            counts = _cell_submission_counts(n_exe, budget, p, rng)
+            size_mp = int(SIZE_CLASSES[size_i])
+            for c in counts:
+                u = pop._pick_owner(size_i, user_weights, rng)
+                pop.executables.append(
+                    Executable(
+                        path=f"/gpfs/home/{u}/bin/app{exe_id:05d}.x",
+                        user=u,
+                        project=user_project[u],
+                        size_midplanes=size_mp,
+                        runtime_bucket=bucket_i,
+                        planned_submissions=int(c),
+                    )
+                )
+                exe_id += 1
+
+        # Assign bugs: suspicious users' executables are boosted, but
+        # heavily-resubmitted codes are production workhorses and never
+        # buggy (one buggy 500-submission code would otherwise dominate
+        # the whole application-error population).
+        sizes = {e.path: e.size_midplanes for e in pop.executables}
+        multipliers = {
+            e.path: (
+                0.0
+                if e.planned_submissions > 40
+                else (
+                    p.suspicious_bug_boost
+                    if e.user in pop.suspicious_users
+                    else 1.0
+                )
+            )
+            for e in pop.executables
+        }
+        pop.app_errors.assign_bugs(sizes, rng, multipliers=multipliers)
+        return pop
+
+    # ------------------------------------------------------------------
+
+    def _assign_projects(self, rng: np.random.Generator) -> dict[str, str]:
+        """Suspicious users cluster in suspicious projects."""
+        out: dict[str, str] = {}
+        susp = sorted(self.suspicious_projects)
+        normal = [q for q in self.projects if q not in self.suspicious_projects]
+        for u in self.users:
+            if u in self.suspicious_users or rng.random() < 0.15:
+                out[u] = str(rng.choice(susp))
+            else:
+                out[u] = str(rng.choice(normal))
+        return out
+
+    def _user_weights(self, rng: np.random.Generator) -> np.ndarray:
+        w = rng.lognormal(0.0, 1.0, size=len(self.users))
+        for i, u in enumerate(self.users):
+            if u in self.suspicious_users:
+                w[i] *= self.profile.suspicious_volume_boost
+        return w / w.sum()
+
+    def _pick_owner(
+        self, size_class_index: int, base_weights: np.ndarray, rng: np.random.Generator
+    ) -> str:
+        """Wide-job executables gravitate to suspicious users."""
+        tilt = 1.0 + self.profile.suspicious_size_tilt * size_class_index
+        w = base_weights.copy()
+        for i, u in enumerate(self.users):
+            if u in self.suspicious_users:
+                w[i] *= tilt
+        w /= w.sum()
+        return self.users[int(rng.choice(len(self.users), p=w))]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_executables(self) -> int:
+        return len(self.executables)
+
+    def total_planned_submissions(self) -> int:
+        return sum(e.planned_submissions for e in self.executables)
+
+    def multi_submitted_count(self) -> int:
+        return sum(1 for e in self.executables if e.planned_submissions > 1)
+
+    def executable_by_path(self) -> dict[str, Executable]:
+        return {e.path: e for e in self.executables}
+
+
+def _allocate_cells(p: PopulationProfile) -> tuple[np.ndarray, np.ndarray]:
+    """Numbers of executables and submissions per Table VI cell.
+
+    Submission budgets are the published cell counts rescaled to the
+    profile's total; executable counts follow the same proportions,
+    clipped so no non-empty cell exceeds its submission budget.
+    """
+    totals = TABLE_VI_TOTALS.astype(np.float64)
+    pmf = totals / totals.sum()
+    subs = _round_to_total(pmf * p.total_submissions, p.total_submissions)
+    exes = _round_to_total(pmf * p.num_executables, p.num_executables)
+    # every non-empty cell carries at least one executable, and every
+    # executable needs at least one submission
+    exes = np.maximum(exes, (subs > 0).astype(np.int64))
+    exes = np.minimum(exes, subs)
+    overshoot = int(exes.sum()) - p.num_executables
+    if overshoot > 0:
+        order = np.argsort(exes.ravel())[::-1]
+        i = 0
+        while overshoot > 0:
+            j = order[i % len(order)]
+            if exes.flat[j] > 1:
+                exes.flat[j] -= 1
+                overshoot -= 1
+            i += 1
+    deficit = p.num_executables - int(exes.sum())
+    if deficit > 0:
+        # add to the cells with the most remaining headroom
+        headroom = subs - exes
+        order = np.argsort(headroom.ravel())[::-1]
+        i = 0
+        while deficit > 0:
+            j = order[i % len(order)]
+            if headroom.flat[j] > 0:
+                exes.flat[j] += 1
+                headroom.flat[j] -= 1
+                deficit -= 1
+            i += 1
+    return exes, subs
+
+
+def _round_to_total(values: np.ndarray, total: int) -> np.ndarray:
+    """Largest-remainder rounding to hit an exact integer total."""
+    floor = np.floor(values).astype(np.int64)
+    remainder = values - floor
+    missing = total - int(floor.sum())
+    if missing > 0:
+        order = np.argsort(remainder.ravel())[::-1]
+        floor.flat[order[:missing]] += 1
+    elif missing < 0:
+        order = np.argsort(remainder.ravel())
+        take = 0
+        for j in order:
+            if floor.flat[j] > 0:
+                floor.flat[j] -= 1
+                take += 1
+                if take == -missing:
+                    break
+    return floor
+
+
+def _cell_submission_counts(
+    n_exe: int, budget: int, p: PopulationProfile, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-executable submission counts inside one cell.
+
+    Hits the cell budget exactly; the share of multi-submitted
+    executables tracks the profile's 5,547/9,664 target where the
+    budget allows.
+    """
+    counts = np.ones(n_exe, dtype=np.int64)
+    extra = budget - n_exe
+    if extra <= 0:
+        return counts
+    n_multi = int(round(n_exe * p.multi_submission_share))
+    n_multi = max(1, min(n_multi, n_exe, extra))
+    multi_idx = rng.choice(n_exe, size=n_multi, replace=False)
+    counts[multi_idx] += 1
+    extra -= n_multi
+    if extra > 0:
+        # heavy-tailed distribution of the remaining load over multis
+        w = rng.lognormal(0.0, p.submission_spread_sigma, size=n_multi)
+        alloc = _round_to_total(w / w.sum() * extra, extra)
+        counts[multi_idx] += alloc
+    return counts

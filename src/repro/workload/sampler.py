@@ -1,0 +1,102 @@
+"""The job submission stream.
+
+Each executable's planned submissions are spread across the 237-day
+window (first appearance uniform, later submissions following lognormal
+gaps — users return to the same code over days or weeks). Runtimes are
+drawn per-submission from the executable's home Table VI bucket with a
+small chance of spilling into a neighbour bucket, which reproduces the
+real workload's within-code runtime variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.population import Executable, Population
+from repro.workload.tables import RUNTIME_BUCKETS, sample_cell_runtime
+
+
+@dataclass(frozen=True)
+class JobSubmission:
+    """One entry of the submission stream handed to the scheduler."""
+
+    submit_time: float
+    executable: str
+    user: str
+    project: str
+    size_midplanes: int
+    planned_runtime: float
+    #: 'fresh' first submission, 'repeat' planned resubmission of the
+    #: same code, 'retry' resubmission after an interruption (the DES
+    #: injects these; the sampler never emits them)
+    kind: str = "fresh"
+
+
+@dataclass(frozen=True)
+class WorkloadSampler:
+    """Draws the full submission stream for a population.
+
+    Parameters
+    ----------
+    t_start, duration:
+        Trace window (epoch seconds, seconds).
+    repeat_gap_log_mean, repeat_gap_log_sigma:
+        Lognormal law of gaps between planned submissions of one code
+        (seconds); defaults give a median near 9 hours with a tail of
+        weeks.
+    bucket_spill:
+        Chance one submission's runtime leaves the executable's home
+        bucket for a neighbour.
+    """
+
+    t_start: float
+    duration: float
+    repeat_gap_log_mean: float = 10.4
+    repeat_gap_log_sigma: float = 1.5
+    bucket_spill: float = 0.10
+
+    def generate(
+        self, population: Population, rng: np.random.Generator
+    ) -> list[JobSubmission]:
+        """The time-sorted submission stream."""
+        out: list[JobSubmission] = []
+        for exe in population.executables:
+            t = float(self.t_start + rng.uniform(0.0, self.duration))
+            remaining = exe.planned_submissions
+            while remaining > 0:
+                if t >= self.t_start + self.duration:
+                    # wrap the overflow back into the window; keeps the
+                    # planned total instead of silently dropping load
+                    t = self.t_start + (t - self.t_start) % self.duration
+                out.append(self._submission(exe, t, remaining, rng))
+                remaining -= 1
+                t += float(
+                    rng.lognormal(self.repeat_gap_log_mean, self.repeat_gap_log_sigma)
+                )
+        out.sort(key=lambda s: s.submit_time)
+        return out
+
+    def _submission(
+        self,
+        exe: Executable,
+        t: float,
+        remaining: int,
+        rng: np.random.Generator,
+    ) -> JobSubmission:
+        bucket = exe.runtime_bucket
+        if rng.random() < self.bucket_spill:
+            step = -1 if (bucket == len(RUNTIME_BUCKETS) - 1 or rng.random() < 0.5) else 1
+            bucket = int(np.clip(bucket + step, 0, len(RUNTIME_BUCKETS) - 1))
+        runtime = sample_cell_runtime(bucket, rng)
+        kind = "fresh" if remaining == exe.planned_submissions else "repeat"
+        return JobSubmission(
+            submit_time=t,
+            executable=exe.path,
+            user=exe.user,
+            project=exe.project,
+            size_midplanes=exe.size_midplanes,
+            planned_runtime=runtime,
+            kind=kind,
+        )

@@ -1,0 +1,114 @@
+"""Published workload marginals from the paper.
+
+``TABLE_VI_TOTALS`` transcribes the *second* number of every Table VI
+cell — the count of jobs (excluding application-error interruptions) per
+(size, runtime-bucket) cell of the real 237-day workload. The simulator
+uses it as the joint sampling distribution, which is what makes the
+reproduced Table VI line up with the paper's row/column structure by
+construction of the workload rather than by fiat of the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: job sizes in midplanes, Table VI rows
+SIZE_CLASSES = (1, 2, 4, 8, 16, 32, 48, 64, 80)
+
+#: runtime buckets in seconds, Table VI columns (last bucket capped at
+#: the observed 113.5-hour maximum, §VI-D)
+RUNTIME_BUCKETS = (
+    (10.0, 400.0),
+    (400.0, 1600.0),
+    (1600.0, 6400.0),
+    (6400.0, 113.5 * 3600.0),
+)
+
+#: Table VI "total jobs" counts, rows = SIZE_CLASSES, cols = RUNTIME_BUCKETS
+TABLE_VI_TOTALS = np.array(
+    [
+        [12282, 7300, 17339, 9492],
+        [1146, 2601, 6052, 2112],
+        [881, 901, 1026, 2014],
+        [611, 563, 636, 748],
+        [288, 685, 466, 415],
+        [20, 362, 195, 79],
+        [3, 1, 0, 0],
+        [12, 147, 143, 39],
+        [11, 33, 27, 2],
+    ],
+    dtype=np.int64,
+)
+
+#: Table VI interrupted-job counts (first cell numbers), kept for
+#: EXPERIMENTS.md shape comparison — the simulation must *reproduce*
+#: these through its fault processes, never sample from them.
+TABLE_VI_INTERRUPTED = np.array(
+    [
+        [24, 19, 7, 7],
+        [8, 7, 4, 3],
+        [13, 9, 1, 4],
+        [4, 9, 0, 8],
+        [9, 13, 3, 6],
+        [7, 8, 0, 1],
+        [0, 0, 0, 0],
+        [4, 13, 0, 1],
+        [4, 10, 0, 0],
+    ],
+    dtype=np.int64,
+)
+
+#: workload totals from §III-B / Table I
+PAPER_TOTAL_JOBS = 68794
+PAPER_DISTINCT_EXECUTABLES = 9664
+PAPER_MULTI_SUBMITTED = 5547
+PAPER_NUM_USERS = 236
+PAPER_NUM_SUSPICIOUS_USERS = 16
+PAPER_NUM_PROJECTS = 91
+PAPER_NUM_SUSPICIOUS_PROJECTS = 19
+PAPER_SPAN_DAYS = 237
+PAPER_RAS_RECORDS = 2_084_392
+PAPER_FATAL_RECORDS = 33_370
+
+
+def joint_probabilities() -> np.ndarray:
+    """Table VI totals normalized to a joint pmf over (size, bucket)."""
+    t = TABLE_VI_TOTALS.astype(np.float64)
+    return t / t.sum()
+
+
+def runtime_bucket_index(runtime: float) -> int:
+    """Bucket index for a runtime in seconds; clamps to the edges.
+
+    Runtimes under 10 s (interrupted almost at launch) fall into the
+    first bucket, matching how the paper tabulates recorded runtimes.
+    """
+    for i, (lo, hi) in enumerate(RUNTIME_BUCKETS):
+        if runtime < hi:
+            return i
+    return len(RUNTIME_BUCKETS) - 1
+
+
+#: mean of the exponential runtime law inside the open-ended bucket;
+#: keeps aggregate demand near Intrepid's real utilization (a log-
+#: uniform draw over the 6,400 s – 113.5 h bucket would oversubscribe
+#: the 80-midplane machine ~2.5x)
+_LONG_BUCKET_EXP_MEAN = 9_000.0
+
+
+def sample_cell_runtime(
+    bucket: int, rng: np.random.Generator
+) -> float:
+    """A runtime drawn inside a Table VI bucket.
+
+    Buckets 0–2 are narrow enough for a log-uniform draw; the open-ended
+    last bucket uses a shifted truncated exponential so its mean sits
+    near 4 hours rather than the log-uniform's 27.
+    """
+    lo, hi = RUNTIME_BUCKETS[bucket]
+    if bucket < len(RUNTIME_BUCKETS) - 1:
+        return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+    while True:
+        rt = lo + float(rng.exponential(_LONG_BUCKET_EXP_MEAN))
+        if rt < hi:
+            return rt

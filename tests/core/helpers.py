@@ -1,0 +1,52 @@
+"""Builders for hand-crafted co-analysis test scenarios."""
+
+from __future__ import annotations
+
+from repro.logs.job import JobLog, JobRecord
+from repro.logs.ras import RasLog, RasRecord
+
+
+def ras(records: list[tuple]) -> RasLog:
+    """Build a RAS log from (recid, errcode, severity, t, location) rows."""
+    return RasLog.from_records(
+        [
+            RasRecord(
+                recid=recid,
+                msg_id="MSG",
+                component="KERNEL",
+                subcomponent="unit",
+                errcode=errcode,
+                severity=severity,
+                event_time=float(t),
+                location=location,
+                serialnumber="S",
+                message="m",
+            )
+            for recid, errcode, severity, t, location in records
+        ]
+    )
+
+
+def jobs(records: list[tuple]) -> JobLog:
+    """Build a job log from
+    (job_id, executable, start, end, location, size[, user, project]) rows."""
+    out = []
+    for r in records:
+        job_id, executable, start, end, location, size = r[:6]
+        user = r[6] if len(r) > 6 else "alice"
+        project = r[7] if len(r) > 7 else "proj"
+        out.append(
+            JobRecord(
+                job_id=job_id,
+                job_name="j",
+                executable=executable,
+                queued_time=float(start) - 10.0,
+                start_time=float(start),
+                end_time=float(end),
+                location=location,
+                user=user,
+                project=project,
+                size_midplanes=size,
+            )
+        )
+    return JobLog.from_records(out)

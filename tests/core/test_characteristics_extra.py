@@ -1,0 +1,45 @@
+"""Additional characteristics coverage: per-midplane fits."""
+
+import numpy as np
+import pytest
+
+from repro.core.characteristics import midplane_interarrival_fits
+from repro.core.events import fatal_event_table
+from tests.core.helpers import ras
+
+
+class TestMidplaneFits:
+    def test_fits_only_where_data_suffices(self):
+        rng = np.random.default_rng(2)
+        rows = []
+        rid = 0
+        # 30 events on midplane 0, 2 events on midplane 10
+        t = 0.0
+        for _ in range(30):
+            t += float(rng.exponential(5000.0))
+            rows.append((rid, "A", "FATAL", t, "R00-M0"))
+            rid += 1
+        rows.append((rid, "A", "FATAL", 123.0, "R05-M0")); rid += 1
+        rows.append((rid, "A", "FATAL", 456.0, "R05-M0"))
+        fits = midplane_interarrival_fits(
+            fatal_event_table(ras(rows)), min_events=8
+        )
+        assert 0 in fits
+        assert 10 not in fits
+        assert fits[0].weibull.shape > 0
+
+    def test_rack_level_events_count_for_both_midplanes(self):
+        rng = np.random.default_rng(3)
+        rows = []
+        t = 0.0
+        for rid in range(20):
+            t += float(rng.exponential(1000.0))
+            rows.append((rid, "BULK", "FATAL", t, "R00"))
+        fits = midplane_interarrival_fits(
+            fatal_event_table(ras(rows)), min_events=8
+        )
+        assert 0 in fits and 1 in fits
+
+    def test_empty(self):
+        fits = midplane_interarrival_fits(fatal_event_table(ras([])))
+        assert fits == {}

@@ -1,0 +1,73 @@
+"""Unit tests for the fatal-event table."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import fatal_event_table
+from tests.core.helpers import ras
+
+
+@pytest.fixture
+def table():
+    return fatal_event_table(
+        ras(
+            [
+                (1, "A", "FATAL", 100.0, "R00-M0-N01-J05"),
+                (2, "B", "WARN", 150.0, "R00-M0"),
+                (3, "A", "FATAL", 200.0, "R10"),
+                (4, "C", "FATAL", 50.0, "R47-M1-S"),
+            ]
+        )
+    )
+
+
+class TestConstruction:
+    def test_only_fatal_rows(self, table):
+        assert len(table) == 3
+        assert set(table.frame["errcode"]) == {"A", "C"}
+
+    def test_sorted_by_time(self, table):
+        times = list(table.frame["event_time"])
+        assert times == sorted(times)
+
+    def test_midplane_span_node_level(self, table):
+        row = table.frame.filter(table.frame.mask_eq("event_time", 100.0)).row(0)
+        assert row["mp_lo"] == row["mp_hi"] == 0
+
+    def test_midplane_span_rack_level(self, table):
+        row = table.frame.filter(table.frame.mask_eq("event_time", 200.0)).row(0)
+        assert (row["mp_lo"], row["mp_hi"]) == (16, 17)
+
+    def test_event_ids_unique(self, table):
+        ids = table.frame["event_id"]
+        assert len(set(ids)) == len(ids)
+
+
+class TestOperations:
+    def test_interarrival_times_positive(self, table):
+        gaps = table.interarrival_times()
+        assert list(gaps) == [50.0, 100.0]
+
+    def test_interarrival_drops_zero_gaps(self):
+        t = fatal_event_table(
+            ras([(1, "A", "FATAL", 10.0, "R00-M0"), (2, "A", "FATAL", 10.0, "R00-M1"),
+                 (3, "A", "FATAL", 30.0, "R00-M0")])
+        )
+        assert list(t.interarrival_times()) == [20.0]
+
+    def test_drop_ids(self, table):
+        eid = int(table.frame["event_id"][0])
+        smaller = table.drop_ids({eid})
+        assert len(smaller) == 2
+        assert eid not in set(smaller.frame["event_id"])
+
+    def test_select_ids(self, table):
+        ids = table.frame["event_id"][:2]
+        assert len(table.select_ids(ids)) == 2
+
+    def test_midplane_counts_rack_event_counts_twice(self, table):
+        counts = table.midplane_counts()
+        assert counts[16] == 1 and counts[17] == 1
+        assert counts[0] == 1
+        assert counts[79] == 1
+        assert counts.sum() == 4  # 3 events, one spans 2 midplanes

@@ -1,0 +1,90 @@
+"""Property-based tests for the filtering stages."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import FatalEventTable
+from repro.core.filtering import SpatialFilter, TemporalFilter
+from repro.frame import Frame
+
+_TYPES = ["A", "B", "C"]
+_LOCS = ["R00-M0", "R00-M1", "R10-M0", "R47-M1"]
+
+
+@st.composite
+def event_tables(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0, 1e5, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    types = draw(st.lists(st.sampled_from(_TYPES), min_size=n, max_size=n))
+    locs = draw(st.lists(st.sampled_from(_LOCS), min_size=n, max_size=n))
+    frame = Frame(
+        {
+            "event_id": np.arange(n, dtype=np.int64),
+            "event_time": np.asarray(times, dtype=np.float64),
+            "errcode": np.array(types, dtype=object),
+            "component": np.array(["KERNEL"] * n, dtype=object),
+            "location": np.array(locs, dtype=object),
+            "mp_lo": np.zeros(n, dtype=np.int64),
+            "mp_hi": np.zeros(n, dtype=np.int64),
+        }
+    )
+    return FatalEventTable(frame)
+
+
+@given(event_tables(), st.floats(1.0, 1e4))
+@settings(max_examples=80, deadline=None)
+def test_temporal_filter_idempotent(events, threshold):
+    f = TemporalFilter(threshold=threshold)
+    once = f.apply(events)
+    twice = f.apply(once)
+    assert list(twice.frame["event_id"]) == list(once.frame["event_id"])
+
+
+@given(event_tables(), st.floats(1.0, 1e4))
+@settings(max_examples=80, deadline=None)
+def test_spatial_filter_idempotent(events, threshold):
+    f = SpatialFilter(threshold=threshold)
+    once = f.apply(events)
+    twice = f.apply(once)
+    assert list(twice.frame["event_id"]) == list(once.frame["event_id"])
+
+
+@given(event_tables())
+@settings(max_examples=80, deadline=None)
+def test_filters_keep_subsets_with_first_survivor(events):
+    for f in (TemporalFilter(300.0), SpatialFilter(300.0)):
+        out = f.apply(events)
+        kept = set(out.frame["event_id"])
+        assert kept <= set(events.frame["event_id"])
+        if len(events):
+            # the globally earliest event always survives
+            first = events.frame.sort_by("event_time", "event_id").row(0)
+            assert first["event_id"] in kept
+
+
+@given(event_tables())
+@settings(max_examples=60, deadline=None)
+def test_spatial_threshold_monotone(events):
+    """A larger threshold never keeps more events."""
+    small = SpatialFilter(60.0).apply(events)
+    large = SpatialFilter(3600.0).apply(events)
+    assert len(large) <= len(small)
+
+
+@given(event_tables())
+@settings(max_examples=60, deadline=None)
+def test_survivors_of_each_type_spaced(events):
+    thr = 500.0
+    out = SpatialFilter(thr).apply(events)
+    for code in _TYPES:
+        mask = out.frame.mask_eq("errcode", code)
+        times = np.sort(out.frame["event_time"][mask])
+        if len(times) > 1:
+            assert (np.diff(times) > thr).all()

@@ -1,0 +1,155 @@
+"""Unit tests for the job-related filter (§IV-C)."""
+
+import pytest
+
+from repro.core.classify import FailureOrigin
+from repro.core.filtering import JobRelatedFilter
+from repro.frame import Frame
+from tests.core.helpers import jobs
+
+
+def interruptions(rows):
+    """(event_id, job_id, t, errcode, executable, mp) rows."""
+    return Frame.from_rows(
+        [
+            {
+                "event_id": eid,
+                "job_id": jid,
+                "event_time": float(t),
+                "errcode": e,
+                "executable": exe,
+                "mp": mp,
+            }
+            for eid, jid, t, e, exe, mp in rows
+        ],
+        columns=["event_id", "job_id", "event_time", "errcode", "executable", "mp"],
+    )
+
+
+SYSTEM = {"DDR": FailureOrigin.SYSTEM}
+APP = {"SEGV": FailureOrigin.APPLICATION}
+
+
+class TestSystemRule:
+    def test_chain_without_clean_run_is_redundant(self):
+        """Two kills, same type, same midplane, nothing ran between."""
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "DDR", "/a", 0),
+                (11, 2, 4000.0, "DDR", "/b", 0),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/a", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/b", 3500.0, 4000.0, "R00-M0", 1),
+            ]
+        )
+        redundant = JobRelatedFilter().redundant_ids(ints, jl, SYSTEM)
+        assert redundant == {11}
+
+    def test_clean_run_breaks_chain(self):
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "DDR", "/a", 0),
+                (11, 2, 9000.0, "DDR", "/b", 0),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/a", 500.0, 1000.0, "R00-M0", 1),
+                (3, "/ok", 2000.0, 3000.0, "R00-M0", 1),  # completed cleanly
+                (2, "/b", 8500.0, 9000.0, "R00-M0", 1),
+            ]
+        )
+        redundant = JobRelatedFilter().redundant_ids(ints, jl, SYSTEM)
+        assert redundant == set()
+
+    def test_transitive_chain(self):
+        """B redundant to A, C redundant to B => both redundant."""
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "DDR", "/a", 0),
+                (11, 2, 2000.0, "DDR", "/b", 0),
+                (12, 3, 3000.0, "DDR", "/c", 0),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/a", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/b", 1500.0, 2000.0, "R00-M0", 1),
+                (3, "/c", 2500.0, 3000.0, "R00-M0", 1),
+            ]
+        )
+        redundant = JobRelatedFilter().redundant_ids(ints, jl, SYSTEM)
+        assert redundant == {11, 12}
+
+    def test_different_midplanes_not_redundant(self):
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "DDR", "/a", 0),
+                (11, 2, 2000.0, "DDR", "/b", 5),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/a", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/b", 1500.0, 2000.0, "R02-M1", 1),
+            ]
+        )
+        assert JobRelatedFilter().redundant_ids(ints, jl, SYSTEM) == set()
+
+    def test_different_errcodes_not_redundant(self):
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "DDR", "/a", 0),
+                (11, 2, 2000.0, "L1", "/b", 0),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/a", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/b", 1500.0, 2000.0, "R00-M0", 1),
+            ]
+        )
+        origins = {"DDR": FailureOrigin.SYSTEM, "L1": FailureOrigin.SYSTEM}
+        assert JobRelatedFilter().redundant_ids(ints, jl, origins) == set()
+
+
+class TestApplicationRule:
+    def test_resubmitted_buggy_code_redundant_anywhere(self):
+        """Same executable, same errcode, different location — still
+        redundant (the user resubmitted the same bug)."""
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "SEGV", "/buggy", 0),
+                (11, 2, 50000.0, "SEGV", "/buggy", 40),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/buggy", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/buggy", 49500.0, 50000.0, "R24-M0", 1),
+            ]
+        )
+        assert JobRelatedFilter().redundant_ids(ints, jl, APP) == {11}
+
+    def test_different_executable_not_redundant(self):
+        ints = interruptions(
+            [
+                (10, 1, 1000.0, "SEGV", "/buggy1", 0),
+                (11, 2, 50000.0, "SEGV", "/buggy2", 0),
+            ]
+        )
+        jl = jobs(
+            [
+                (1, "/buggy1", 500.0, 1000.0, "R00-M0", 1),
+                (2, "/buggy2", 49500.0, 50000.0, "R00-M0", 1),
+            ]
+        )
+        assert JobRelatedFilter().redundant_ids(ints, jl, APP) == set()
+
+    def test_empty(self):
+        assert JobRelatedFilter().redundant_ids(
+            interruptions([]), jobs([(1, "/x", 0.0, 10.0, "R00-M0", 1)]), {}
+        ) == set()

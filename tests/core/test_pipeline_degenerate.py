@@ -1,0 +1,75 @@
+"""Robustness tests: the pipeline on degenerate and adversarial inputs."""
+
+import pytest
+
+from repro.core import CoAnalysis
+from repro.logs.job import empty_job_log
+from repro.logs.ras import empty_ras_log
+from tests.core.helpers import jobs, ras
+
+
+class TestDegenerateInputs:
+    def test_both_logs_empty(self):
+        result = CoAnalysis().run(empty_ras_log(), empty_job_log())
+        assert result.num_jobs == 0
+        assert len(result.events_final) == 0
+        assert result.num_interrupted_jobs == 0
+        assert len(result.observations) == 12
+        assert "CO-ANALYSIS" in result.report()
+
+    def test_jobs_without_ras(self):
+        result = CoAnalysis().run(
+            empty_ras_log(),
+            jobs([(1, "/x", 0.0, 100.0, "R00-M0", 1)]),
+        )
+        assert result.num_jobs == 1
+        assert result.num_interrupted_jobs == 0
+        assert result.interarrivals.before is None
+
+    def test_ras_without_jobs(self):
+        result = CoAnalysis().run(
+            ras(
+                [
+                    (1, "A", "FATAL", 50.0, "R00-M0"),
+                    (2, "A", "FATAL", 5000.0, "R10-M0"),
+                ]
+            ),
+            empty_job_log(),
+        )
+        assert len(result.events_filtered) == 2
+        assert result.num_interrupted_jobs == 0
+        # every event is an idle-location (case 2) event
+        from repro.core.matching import CASE_IDLE
+
+        assert result.match.case_share(CASE_IDLE) == 1.0
+
+    def test_single_fatal_record(self):
+        result = CoAnalysis().run(
+            ras([(1, "A", "FATAL", 50.0, "R00-M0")]),
+            jobs([(1, "/x", 0.0, 50.0, "R00-M0", 1)]),
+        )
+        assert result.num_interrupted_jobs == 1
+        assert result.interarrivals.after is None  # one event, no gaps
+
+    def test_nonfatal_only_ras(self):
+        result = CoAnalysis().run(
+            ras([(1, "ok", "INFO", 50.0, "R00-M0"),
+                 (2, "warn", "WARN", 60.0, "R00-M0")]),
+            jobs([(1, "/x", 0.0, 100.0, "R00-M0", 1)]),
+        )
+        assert len(result.events_filtered) == 0
+        assert result.filter_stats.raw == 0
+
+    def test_identical_timestamps(self):
+        """Simultaneous fatal records must not break sorting/fitting."""
+        rows = [(i, "A", "FATAL", 100.0, f"R0{i % 8}-M0") for i in range(10)]
+        result = CoAnalysis().run(
+            ras(rows), jobs([(1, "/x", 0.0, 100.0, "R00-M0", 1)])
+        )
+        assert result.filter_stats.raw == 10
+
+    def test_observation_4_degrades_gracefully(self):
+        result = CoAnalysis().run(empty_ras_log(), empty_job_log())
+        obs4 = result.observation(4)
+        assert not obs4.holds
+        assert "note" in obs4.measured

@@ -1,0 +1,117 @@
+"""Integration tests: the full co-analysis on a simulated trace."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoAnalysis
+from repro.core.identify import TypeBehavior
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # Large enough for every analysis to have data, small enough for CI.
+    return IntrepidSimulation(CalibrationProfile(seed=2011, scale=0.3)).run()
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return CoAnalysis().run(trace.ras_log, trace.job_log)
+
+
+class TestFiltering:
+    def test_heavy_compression(self, result):
+        assert result.filter_stats.compression_ratio > 0.9
+
+    def test_filtered_count_near_truth(self, trace, result):
+        truth = len(trace.ground_truth.incidents)
+        assert 0.6 * truth < len(result.events_filtered) < 1.6 * truth
+
+    def test_job_related_removal(self, result):
+        assert len(result.events_final) == len(result.events_filtered) - len(
+            result.job_related_redundant_ids
+        )
+
+
+class TestRecovery:
+    """The pipeline must rediscover the hidden ground truth."""
+
+    def test_interrupted_jobs_recovered(self, trace, result):
+        truth = trace.ground_truth.interrupted_job_ids()
+        found = set(int(j) for j in result.interruptions["job_id"])
+        # recall and precision both reasonably high
+        recall = len(truth & found) / len(truth)
+        precision = len(truth & found) / len(found)
+        assert recall > 0.8, f"recall {recall}"
+        assert precision > 0.8, f"precision {precision}"
+
+    def test_nonfatal_types_discovered(self, result):
+        nonfatal = set(result.identification.nonfatal_types())
+        assert nonfatal <= {"BULK_POWER_FATAL", "_bgp_err_torus_fatal_sum"}
+        assert len(nonfatal) >= 1
+
+    def test_undetermined_idle_types_are_ambient(self, result):
+        from repro.faults.catalog import catalog_by_errcode, FaultClass
+
+        idle = [
+            e
+            for e, b in result.identification.behaviors.items()
+            if b is TypeBehavior.UNDETERMINED_IDLE
+        ]
+        ambient = [
+            e
+            for e in idle
+            if catalog_by_errcode(e).fclass is FaultClass.AMBIENT_IDLE
+        ]
+        assert len(ambient) / len(idle) > 0.8
+
+    def test_application_types_mostly_correct(self, result):
+        from repro.faults.catalog import catalog_by_errcode, FaultClass
+
+        app = result.classification.application_types()
+        if app:
+            good = [
+                e
+                for e in app
+                if catalog_by_errcode(e).fclass is FaultClass.APPLICATION
+            ]
+            assert len(good) / len(app) >= 0.5
+
+    def test_redundancy_detection_overlaps_truth(self, trace, result):
+        # events flagged redundant should be a nontrivial set whenever
+        # the ground truth contains redundancy
+        if len(trace.ground_truth.redundant()) > 10:
+            assert len(result.job_related_redundant_ids) > 0
+
+
+class TestStudies:
+    def test_weibull_preferred_for_failures(self, result):
+        assert result.interarrivals.before.weibull_preferred
+        assert result.interarrivals.before.weibull.shape < 1.0
+
+    def test_categories_split(self, result):
+        cats = result.interruptions_by_category()
+        assert cats[1] > 0
+
+    def test_profile_covers_all_midplanes(self, result):
+        assert result.midplane_profile.num_rows == 80
+        assert result.midplane_profile["workload"].sum() > 0
+
+    def test_observations_present(self, result):
+        assert len(result.observations) == 12
+        assert result.observation(5).number == 5
+        with pytest.raises(KeyError):
+            result.observation(13)
+
+    def test_most_observations_hold_at_this_scale(self, result):
+        held = sum(1 for o in result.observations if o.holds)
+        assert held >= 8
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Table IV" in text
+        assert "Figure 7" in text
+        assert "Obs.12" in text.replace("Obs. 12", "Obs.12")
+
+    def test_distinct_jobs_counted(self, result):
+        assert 0 < result.num_interrupted_distinct_jobs() <= result.num_interrupted_jobs

@@ -1,0 +1,68 @@
+"""Rendering tests for the text report."""
+
+import pytest
+
+from repro.core import CoAnalysis
+from repro.simulate import CalibrationProfile, IntrepidSimulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = IntrepidSimulation(CalibrationProfile(seed=13, scale=0.05)).run()
+    return CoAnalysis().run(trace.ras_log, trace.job_log)
+
+
+class TestReportSections:
+    @pytest.fixture(scope="class")
+    def text(self, result):
+        return result.report()
+
+    @pytest.mark.parametrize(
+        "needle",
+        [
+            "CO-ANALYSIS OF RAS LOG AND JOB LOG",
+            "Filtering (SIV)",
+            "Interruption-related fatal events (SIV-A)",
+            "System failures vs application errors (SIV-B)",
+            "Table IV",
+            "Table V",
+            "Table VI",
+            "Figure 4a",
+            "Figure 5",
+            "Figure 7",
+            "The twelve observations",
+        ],
+    )
+    def test_sections_present(self, text, needle):
+        assert needle in text
+
+    def test_all_observations_rendered(self, text):
+        for i in range(1, 13):
+            assert f"Obs.{i:>2}" in text
+
+    def test_counts_consistent_with_result(self, result, text):
+        assert f"raw FATAL records:        {result.filter_stats.raw}" in text
+        assert str(result.num_jobs) in text
+
+    def test_table6_has_all_size_rows(self, text):
+        for size in (1, 2, 4, 8, 16, 32, 48, 64, 80):
+            assert f"\n{size:>10} |" in text
+
+    def test_midplane_blocks_cover_machine(self, text):
+        assert "mp  0- 7:" in text
+        assert "mp 72-79:" in text
+
+    def test_verdict_line(self, text):
+        assert "/12 observations hold" in text
+
+
+class TestObservationSummaries:
+    def test_summary_format(self, result):
+        obs = result.observation(1)
+        s = obs.summary()
+        assert s.startswith("Obs. 1 [")
+        assert "HOLDS" in s or "DIVERGES" in s
+
+    def test_measured_values_render(self, result):
+        obs = result.observation(7)
+        assert "mtti_over_mtbf" in obs.summary()

@@ -1,0 +1,103 @@
+"""Unit tests for the application-error model."""
+
+import numpy as np
+import pytest
+
+from repro.faults import ApplicationErrorModel
+from repro.faults.catalog import FaultClass
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+def make_model(rng, fraction=0.5, n=400, size=4):
+    model = ApplicationErrorModel(buggy_fraction=fraction)
+    model.assign_bugs({f"/bin/a{i}": size for i in range(n)}, rng)
+    return model
+
+
+class TestAssignment:
+    def test_fraction_respected(self, rng):
+        model = make_model(rng, fraction=0.25, n=2000)
+        assert 0.18 < model.num_buggy / 2000 < 0.32
+
+    def test_large_executables_never_buggy(self, rng):
+        model = ApplicationErrorModel(buggy_fraction=1.0)
+        model.assign_bugs({"/bin/wide": 64}, rng)
+        assert model.num_buggy == 0
+
+    def test_multipliers_boost(self, rng):
+        model = ApplicationErrorModel(buggy_fraction=0.05)
+        paths = {f"/bin/a{i}": 1 for i in range(2000)}
+        mult = {p: (5.0 if i < 1000 else 1.0) for i, p in enumerate(paths)}
+        model.assign_bugs(paths, rng, multipliers=mult)
+        boosted = sum(1 for p in list(paths)[:1000] if model.is_buggy(p))
+        plain = sum(1 for p in list(paths)[1000:] if model.is_buggy(p))
+        assert boosted > 2 * plain
+
+    def test_bug_types_are_application_class(self, rng):
+        model = make_model(rng)
+        for path in list(b for b in model._bugs):
+            assert model.bug(path).fault_type.fclass is FaultClass.APPLICATION
+
+
+class TestRunFailures:
+    def test_clean_executable_never_fails(self, rng):
+        model = make_model(rng, fraction=0.0)
+        assert model.sample_run_failure("/bin/a0", 1e6, 1, rng) is None
+
+    def test_failure_rate_tracks_theta(self, rng):
+        model = ApplicationErrorModel(buggy_fraction=1.0)
+        model.assign_bugs({"/bin/x": 1}, rng)
+        model._bugs["/bin/x"].theta = 0.8
+        hits = sum(
+            model.sample_run_failure("/bin/x", 1e9, 1, rng) is not None
+            for _ in range(2000)
+        )
+        assert 0.7 < hits / 2000 < 0.9
+
+    def test_offset_below_runtime(self, rng):
+        model = ApplicationErrorModel(buggy_fraction=1.0)
+        model.assign_bugs({"/bin/x": 1}, rng)
+        model._bugs["/bin/x"].theta = 1.0
+        for _ in range(200):
+            res = model.sample_run_failure("/bin/x", 500.0, 1, rng)
+            if res is not None:
+                assert 0 < res[0] < 500.0
+
+    def test_failures_front_loaded(self, rng):
+        """Observation 11: most failures inside the first hour."""
+        model = ApplicationErrorModel(buggy_fraction=1.0)
+        model.assign_bugs({"/bin/x": 1}, rng)
+        model._bugs["/bin/x"].theta = 1.0
+        offsets = []
+        while len(offsets) < 400:
+            res = model.sample_run_failure("/bin/x", 1e9, 1, rng)
+            if res is not None:
+                offsets.append(res[0])
+        assert np.mean(np.array(offsets) < 3600.0) > 0.6
+
+    def test_beta_selection_raises_conditional_risk(self, rng):
+        """The Figure 7 category-2 mechanism: executables observed to
+        fail repeatedly have higher latent theta."""
+        model = ApplicationErrorModel(buggy_fraction=1.0)
+        paths = {f"/bin/x{i}": 1 for i in range(3000)}
+        model.assign_bugs(paths, rng)
+        once, once_fail = 0, 0
+        thetas_all, thetas_failed = [], []
+        for p in paths:
+            if not model.is_buggy(p):
+                continue
+            theta = model.bug(p).theta
+            thetas_all.append(theta)
+            if rng.random() < theta:  # first observed run fails
+                thetas_failed.append(theta)
+        assert np.mean(thetas_failed) > np.mean(thetas_all)
+
+    def test_resubmit_probability_decreases(self):
+        model = ApplicationErrorModel()
+        probs = [model.resubmit_probability(k) for k in range(1, 6)]
+        assert probs == sorted(probs, reverse=True)
+        assert all(0.0 < p <= 1.0 for p in probs)

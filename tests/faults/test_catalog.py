@@ -1,0 +1,102 @@
+"""Unit tests for the fault-type catalog."""
+
+import pytest
+
+from repro.faults import (
+    APP_ERROR_TYPES,
+    FAULT_CATALOG,
+    NONFATAL_FATAL_TYPES,
+    FaultClass,
+    catalog_by_errcode,
+)
+from repro.faults.catalog import AMBIENT_TYPES, STICKY_TYPES, TRANSIENT_TYPES
+
+
+class TestCatalogShape:
+    """The §III-B / §IV type counts the catalog must reproduce."""
+
+    def test_82_types_total(self):
+        assert len(FAULT_CATALOG) == 82
+
+    def test_class_counts(self):
+        assert len(APP_ERROR_TYPES) == 8       # Obs. 2
+        assert len(NONFATAL_FATAL_TYPES) == 2  # §IV-A
+        assert len(STICKY_TYPES) == 4          # §IV-B
+        assert len(AMBIENT_TYPES) == 49        # §IV-A undetermined
+        assert len(TRANSIENT_TYPES) == 19
+
+    def test_system_types_total_72(self):
+        system = [t for t in FAULT_CATALOG if t.is_system]
+        # 72 system + 8 application + 2 "fatal" alarms = 82
+        assert len(system) - len(NONFATAL_FATAL_TYPES) == 72
+
+    def test_errcodes_unique(self):
+        codes = [t.errcode for t in FAULT_CATALOG]
+        assert len(set(codes)) == len(codes)
+
+    def test_six_components(self):
+        comps = {t.component for t in FAULT_CATALOG}
+        assert comps == {"KERNEL", "MMCS", "MC", "CARD", "DIAGS", "BAREMETAL"}
+
+    def test_no_application_component(self):
+        """§IV-B: no fatal event reports from the APPLICATION domain."""
+        assert all(t.component != "APPLICATION" for t in FAULT_CATALOG)
+
+
+class TestNamedTypes:
+    """Types the paper names must exist with the right behaviour."""
+
+    def test_bulk_power_nonfatal(self):
+        t = catalog_by_errcode("BULK_POWER_FATAL")
+        assert t.fclass is FaultClass.NONFATAL_FATAL
+        assert not t.truly_interrupts
+
+    def test_torus_fatal_sum_nonfatal(self):
+        t = catalog_by_errcode("_bgp_err_torus_fatal_sum")
+        assert t.fclass is FaultClass.NONFATAL_FATAL
+
+    def test_l1_cache_parity_sticky(self):
+        t = catalog_by_errcode("_bgp_err_cns_ras_storm_fatal")
+        assert t.fclass is FaultClass.STICKY
+        assert t.component == "KERNEL"
+
+    def test_sticky_four_of_paper(self):
+        expected = {
+            "_bgp_err_cns_ras_storm_fatal",   # L1 cache parity
+            "_bgp_err_ddr_controller",        # DDR controller
+            "_bgp_err_fs_configuration",      # FS configuration
+            "_bgp_err_link_card",             # link card
+        }
+        assert {t.errcode for t in STICKY_TYPES} == expected
+
+    def test_ciod_hung_proxy_is_kernel_application_error(self):
+        t = catalog_by_errcode("CiodHungProxy")
+        assert t.fclass is FaultClass.APPLICATION
+        assert t.component == "KERNEL"  # the §IV-B COMPONENT trap
+        assert t.propagates
+
+    def test_script_error_propagates(self):
+        assert catalog_by_errcode("bg_code_script_error").propagates
+
+    def test_only_two_propagating_types(self):
+        prop = [t.errcode for t in FAULT_CATALOG if t.propagates]
+        assert sorted(prop) == ["CiodHungProxy", "bg_code_script_error"]
+
+    def test_unknown_errcode_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            catalog_by_errcode("nope")
+
+
+class TestWeights:
+    def test_positive_weights_and_storms(self):
+        for t in FAULT_CATALOG:
+            assert t.rate_weight > 0
+            assert t.storm_mean >= 1.0
+
+    def test_kernel_types_have_big_storms(self):
+        """Kernel faults fan out across partitions (75% of fatal
+        records come from KERNEL)."""
+        kernel = [t.storm_mean for t in FAULT_CATALOG
+                  if t.component == "KERNEL" and t.truly_interrupts]
+        card = [t.storm_mean for t in FAULT_CATALOG if t.component == "CARD"]
+        assert min(kernel) > max(card)

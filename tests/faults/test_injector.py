@@ -1,0 +1,88 @@
+"""Unit tests for ground-truth incident bookkeeping."""
+
+import pytest
+
+from repro.faults import GroundTruth, Incident, IncidentCause
+from repro.faults.catalog import (
+    APP_ERROR_TYPES,
+    NONFATAL_FATAL_TYPES,
+    FaultClass,
+    catalog_by_errcode,
+)
+
+
+def incident(t=100.0, errcode="_bgp_err_kernel_panic",
+             cause=IncidentCause.TRANSIENT, jobs=(1,), chain=-1):
+    return Incident(
+        time=t,
+        fault_type=catalog_by_errcode(errcode),
+        location="R00-M0-N00-J04",
+        cause=cause,
+        interrupted_job_ids=tuple(jobs),
+        chain_id=chain,
+    )
+
+
+class TestIncident:
+    def test_errcode_accessor(self):
+        assert incident().errcode == "_bgp_err_kernel_panic"
+
+    def test_interrupts(self):
+        assert incident(jobs=(1,)).interrupts
+        assert not incident(jobs=()).interrupts
+
+    def test_redundancy_flags(self):
+        assert incident(cause=IncidentCause.STICKY_REFIRE, chain=3).is_redundant
+        assert incident(cause=IncidentCause.APPLICATION_RESUBMIT).is_redundant
+        assert not incident(cause=IncidentCause.TRANSIENT).is_redundant
+        assert not incident(cause=IncidentCause.STICKY_PRIMARY).is_redundant
+
+
+class TestGroundTruth:
+    @pytest.fixture
+    def truth(self):
+        gt = GroundTruth()
+        gt.add(incident(t=300.0, cause=IncidentCause.TRANSIENT, jobs=(1,)))
+        gt.add(incident(t=100.0, cause=IncidentCause.AMBIENT, jobs=(),
+                        errcode="CARD_0411_CLOCK"))
+        gt.add(incident(t=200.0, cause=IncidentCause.STICKY_PRIMARY, jobs=(2,)))
+        gt.add(incident(t=250.0, cause=IncidentCause.STICKY_REFIRE, jobs=(3,),
+                        chain=1))
+        gt.add(incident(t=400.0, cause=IncidentCause.APPLICATION, jobs=(4, 5),
+                        errcode="CiodHungProxy"))
+        return gt
+
+    def test_sort(self, truth):
+        truth.sort()
+        times = [i.time for i in truth.incidents]
+        assert times == sorted(times)
+
+    def test_counts(self, truth):
+        assert truth.count(IncidentCause.TRANSIENT) == 1
+        assert truth.count(IncidentCause.STICKY_PRIMARY,
+                           IncidentCause.STICKY_REFIRE) == 2
+
+    def test_interrupting_and_redundant(self, truth):
+        assert len(truth.interrupting()) == 4
+        assert len(truth.redundant()) == 1
+
+    def test_interrupted_job_ids(self, truth):
+        assert truth.interrupted_job_ids() == {1, 2, 3, 4, 5}
+
+    def test_by_class(self, truth):
+        app = truth.by_class(FaultClass.APPLICATION)
+        assert len(app) == 1
+        assert app[0].errcode == "CiodHungProxy"
+
+    def test_summary(self, truth):
+        s = truth.summary()
+        assert s["incidents"] == 5
+        assert s["interrupted_jobs"] == 5
+        assert s["application"] == 1
+        assert s["system"] == 3
+        assert s["ambient"] == 1
+
+    def test_extend(self):
+        gt = GroundTruth()
+        gt.extend([incident(), incident(t=2.0)])
+        assert len(gt.incidents) == 2

@@ -1,0 +1,113 @@
+"""Unit tests for the system-fault processes."""
+
+import numpy as np
+import pytest
+
+from repro.faults import SystemFaultProcess
+from repro.faults.catalog import FaultClass
+from repro.machine.location import parse_location
+from repro.machine.partition import Partition
+
+
+@pytest.fixture
+def process():
+    return SystemFaultProcess(duration=237 * 86400.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestAmbientSchedule:
+    def test_counts_near_budget(self, process, rng):
+        events = process.ambient_schedule(rng)
+        expected = process.ambient_count_mean + process.nonfatal_count_mean
+        assert 0.6 * expected < len(events) < 1.6 * expected
+
+    def test_sorted_and_in_window(self, process, rng):
+        events = process.ambient_schedule(rng)
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+        assert all(0 <= t < process.duration for t in times)
+
+    def test_locations_parse(self, process, rng):
+        for _, _, loc in process.ambient_schedule(rng):
+            parse_location(loc)  # must not raise
+
+    def test_classes_are_ambient_or_nonfatal(self, process, rng):
+        for _, ftype, _ in process.ambient_schedule(rng):
+            assert ftype.fclass in (
+                FaultClass.AMBIENT_IDLE,
+                FaultClass.NONFATAL_FATAL,
+            )
+
+    def test_zero_budget(self, rng):
+        p = SystemFaultProcess(
+            duration=1000.0, ambient_count_mean=0.0, nonfatal_count_mean=0.0
+        )
+        assert p.ambient_schedule(rng) == []
+
+    def test_wide_region_tilt(self, rng):
+        p = SystemFaultProcess(duration=237 * 86400.0,
+                               ambient_count_mean=4000.0, wide_tilt=5.0)
+        events = p.ambient_schedule(rng)
+        mids = [parse_location(loc).midplane_indices()[0] for _, _, loc in events]
+        mids = np.array(mids)
+        in_region = ((mids >= 32) & (mids < 64)).mean()
+        # 32/80 midplanes with 5x weight => expected share 160/208 ~ 0.77
+        assert in_region > 0.6
+
+
+class TestPerRunHazard:
+    def test_probability_grows_with_size(self, process, rng):
+        def rate(size, n=4000):
+            hits = sum(
+                process.sample_job_system_failure(size, 3600.0, rng) is not None
+                for _ in range(n)
+            )
+            return hits / n
+
+        assert rate(64) > rate(8) > 0
+
+    def test_offset_within_runtime(self, process, rng):
+        for _ in range(500):
+            res = process.sample_job_system_failure(80, 1000.0, rng)
+            if res is not None:
+                offset, ftype, sticky = res
+                assert 0 <= offset < 1000.0
+                assert ftype.fclass in (FaultClass.STICKY, FaultClass.TRANSIENT)
+                assert sticky == (ftype.fclass is FaultClass.STICKY)
+
+    def test_offsets_front_loaded(self, process, rng):
+        """Infant-mortality law: the median strike lands well before
+        the middle of the run (Obs. 10's mechanism)."""
+        offsets = []
+        while len(offsets) < 300:
+            res = process.sample_job_system_failure(80, 10000.0, rng)
+            if res is not None:
+                offsets.append(res[0])
+        assert np.median(offsets) < 4000.0
+
+    def test_refire_delay_short(self, process, rng):
+        delays = [process.refire_delay(rng) for _ in range(500)]
+        assert min(delays) >= 15.0
+        assert np.median(delays) < 300.0
+
+
+class TestLocations:
+    def test_incident_location_inside_partition(self, process, rng):
+        p = Partition(32, 4)
+        for _ in range(50):
+            ft = process.sample_job_system_failure(80, 1e9, rng)
+            if ft is None:
+                continue
+            loc = process.incident_location(p, ft[1], rng)
+            mp = parse_location(loc).midplane_indices()[0]
+            assert 32 <= mp < 36
+
+    def test_location_in_midplane(self, process, rng):
+        from repro.faults.catalog import TRANSIENT_TYPES
+
+        loc = process.location_in_midplane(17, TRANSIENT_TYPES[0], rng)
+        assert parse_location(loc).midplane_indices() == (17,)

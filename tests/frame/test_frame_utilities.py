@@ -1,0 +1,82 @@
+"""Unit tests for the frame convenience utilities."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture
+def f():
+    return Frame(
+        {
+            "k": [1, 1, 2, 2, 3],
+            "s": ["a", "a", "b", "b", "c"],
+            "v": [10.0, 10.0, 20.0, 21.0, 30.0],
+        }
+    )
+
+
+class TestWithColumns:
+    def test_adds_multiple(self, f):
+        out = f.with_columns({"x": np.zeros(5), "y": np.ones(5)})
+        assert "x" in out and "y" in out
+        assert "x" not in f
+
+    def test_replacement_order(self, f):
+        out = f.with_columns({"v": f["v"] * 2, "w": np.arange(5)})
+        assert out["v"][0] == 20.0
+
+
+class TestDistinct:
+    def test_all_columns(self, f):
+        assert f.distinct().num_rows == 4  # one exact duplicate row
+
+    def test_subset(self, f):
+        out = f.distinct(subset=["k"])
+        assert out.num_rows == 3
+        assert list(out["v"]) == [10.0, 20.0, 30.0]  # first kept
+
+    def test_keeps_first_in_row_order(self):
+        f = Frame({"k": [2, 1, 2], "v": [100, 200, 300]})
+        out = f.distinct(subset=["k"])
+        assert list(out["v"]) == [100, 200]
+
+    def test_empty_subset_is_identity(self, f):
+        assert f.distinct(subset=[]).num_rows == f.num_rows
+
+
+class TestQuantile:
+    def test_median(self, f):
+        assert f.quantile("v", 0.5) == 20.0
+
+    def test_extremes(self, f):
+        assert f.quantile("v", 0.0) == 10.0
+        assert f.quantile("v", 1.0) == 30.0
+
+    def test_string_column_rejected(self, f):
+        with pytest.raises(TypeError):
+            f.quantile("s", 0.5)
+
+    def test_empty_rejected(self):
+        empty = Frame({"v": np.array([], dtype=np.float64)})
+        with pytest.raises(ValueError):
+            empty.quantile("v", 0.5)
+
+
+class TestDescribe:
+    def test_only_numeric_columns(self, f):
+        d = f.describe()
+        assert set(d["column"]) == {"k", "v"}
+
+    def test_statistics(self, f):
+        d = f.describe()
+        row = {r["column"]: r for r in d.to_rows()}["v"]
+        assert row["count"] == 5
+        assert row["min"] == 10.0
+        assert row["max"] == 30.0
+        assert row["median"] == 20.0
+        assert row["mean"] == pytest.approx(18.2)
+
+    def test_empty_frame(self):
+        assert Frame().describe().num_rows == 0

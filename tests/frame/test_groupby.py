@@ -1,0 +1,108 @@
+"""Unit tests for group-by aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture
+def events():
+    return Frame(
+        {
+            "errcode": ["A", "B", "A", "A", "C", "B"],
+            "midplane": [1, 1, 2, 1, 3, 2],
+            "t": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        }
+    )
+
+
+class TestGroupSizes:
+    def test_size(self, events):
+        s = events.groupby("errcode").size()
+        assert dict(zip(s["errcode"], s["count"])) == {"A": 3, "B": 2, "C": 1}
+
+    def test_num_groups(self, events):
+        assert events.groupby("errcode").num_groups == 3
+
+    def test_multi_key(self, events):
+        s = events.groupby(["errcode", "midplane"]).size()
+        assert s.num_rows == 5  # (A,1)x2 (A,2) (B,1) (B,2) (C,3)
+
+    def test_codes_per_row(self, events):
+        gb = events.groupby("errcode")
+        assert len(gb.codes) == 6
+        assert gb.codes[0] == gb.codes[2] == gb.codes[3]
+
+
+class TestAggregations:
+    def test_count(self, events):
+        out = events.groupby("errcode").agg(n="count")
+        assert list(out["n"]) == [3, 2, 1]
+
+    def test_sum_mean(self, events):
+        out = events.groupby("errcode").agg(s=("t", "sum"), m=("t", "mean"))
+        a = out.filter(out.mask_eq("errcode", "A"))
+        assert a["s"][0] == 80.0
+        assert a["m"][0] == pytest.approx(80.0 / 3)
+
+    def test_min_max(self, events):
+        out = events.groupby("errcode").agg(lo=("t", "min"), hi=("t", "max"))
+        a = out.row(0)
+        assert (a["lo"], a["hi"]) == (10.0, 40.0)
+
+    def test_first_last_in_row_order(self, events):
+        out = events.groupby("errcode").agg(f=("t", "first"), l=("t", "last"))
+        a = out.row(0)
+        assert (a["f"], a["l"]) == (10.0, 40.0)
+
+    def test_nunique(self, events):
+        out = events.groupby("errcode").agg(nmid=("midplane", "nunique"))
+        assert dict(zip(out["errcode"], out["nmid"])) == {"A": 2, "B": 2, "C": 1}
+
+    def test_median(self, events):
+        out = events.groupby("errcode").agg(med=("t", "median"))
+        assert out.row(0)["med"] == 30.0
+
+    def test_unknown_agg_rejected(self, events):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            events.groupby("errcode").agg(x=("t", "mode"))
+
+    def test_count_needs_no_source(self, events):
+        out = events.groupby("errcode").agg(n="count")
+        assert out["n"].sum() == 6
+
+    def test_sum_needs_source(self, events):
+        with pytest.raises(ValueError, match="source"):
+            events.groupby("errcode")._agg_one(None, "sum")
+
+
+class TestGroupsIteration:
+    def test_groups_cover_all_rows(self, events):
+        total = sum(sub.num_rows for _, sub in events.groupby("errcode").groups())
+        assert total == 6
+
+    def test_group_key_dict(self, events):
+        keys = [k for k, _ in events.groupby(["errcode", "midplane"]).groups()]
+        assert {"errcode": "A", "midplane": 1} in keys
+
+    def test_subframe_rows_in_original_order(self, events):
+        for key, sub in events.groupby("errcode").groups():
+            if key["errcode"] == "A":
+                assert list(sub["t"]) == [10.0, 30.0, 40.0]
+
+    def test_apply(self, events):
+        out = events.groupby("errcode").apply(
+            lambda sub: {"span": float(sub["t"].max() - sub["t"].min())}
+        )
+        assert dict(zip(out["errcode"], out["span"])) == {
+            "A": 30.0,
+            "B": 40.0,
+            "C": 0.0,
+        }
+
+    def test_empty_frame_groupby(self):
+        f = Frame({"k": np.array([], dtype=np.int64), "v": np.array([], dtype=np.float64)})
+        gb = f.groupby("k")
+        assert gb.num_groups == 0
+        assert gb.size().num_rows == 0

@@ -1,0 +1,83 @@
+"""Unit tests for delimited frame io."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.frame.io import from_string, read_delimited, to_string, write_delimited
+
+
+@pytest.fixture
+def mixed():
+    return Frame(
+        {
+            "recid": [1, 2, 3],
+            "msg": ["kernel panic", "ddr error", "ok"],
+            "t": [1.5, 2.25, 1e-9],
+            "fatal": [True, True, False],
+        }
+    )
+
+
+class TestRoundTrip:
+    def test_types_preserved(self, mixed):
+        back = from_string(to_string(mixed))
+        assert back.dtypes()["recid"].kind == "i"
+        assert back.dtypes()["t"].kind == "f"
+        assert back.dtypes()["fatal"].kind == "b"
+        assert back.dtypes()["msg"].kind == "O"
+
+    def test_values_preserved(self, mixed):
+        back = from_string(to_string(mixed))
+        for c in mixed.columns:
+            assert (back[c] == mixed[c]).all()
+
+    def test_float_precision_exact(self):
+        f = Frame({"x": [0.1 + 0.2, 1e300, -1e-300]})
+        back = from_string(to_string(f))
+        assert (back["x"] == f["x"]).all()
+
+    def test_file_roundtrip(self, mixed, tmp_path):
+        p = tmp_path / "log.psv"
+        write_delimited(mixed, p)
+        back = read_delimited(p)
+        assert back.num_rows == 3
+
+    def test_empty_frame(self):
+        assert from_string(to_string(Frame())).num_rows == 0
+
+    def test_zero_row_frame(self):
+        f = Frame({"a": np.array([], dtype=np.int64)})
+        back = from_string(to_string(f))
+        assert back.num_rows == 0
+        assert back.columns == ["a"]
+
+
+class TestValidation:
+    def test_separator_in_cell_rejected(self):
+        f = Frame({"msg": ["bad|cell"]})
+        with pytest.raises(ValueError, match="separator"):
+            to_string(f)
+
+    def test_newline_in_cell_rejected(self):
+        f = Frame({"msg": ["bad\ncell"]})
+        with pytest.raises(ValueError):
+            to_string(f)
+
+    def test_alternate_separator(self):
+        f = Frame({"msg": ["has|pipe"]})
+        back = from_string(to_string(f, sep="\t"), sep="\t")
+        assert back["msg"][0] == "has|pipe"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            from_string("a:int|b:int\n1|2\n3\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            from_string("a:complex\n")
+
+    def test_colon_in_column_name(self):
+        f = Frame({"weird:name": [1]})
+        back = from_string(to_string(f))
+        assert back.columns == ["weird:name"]

@@ -1,0 +1,103 @@
+"""Unit tests for equi-joins."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture
+def jobs():
+    return Frame(
+        {
+            "job_id": [1, 2, 3, 4],
+            "location": ["R00-M0", "R00-M1", "R01-M0", "R00-M0"],
+        }
+    )
+
+
+@pytest.fixture
+def events():
+    return Frame(
+        {
+            "location": ["R00-M0", "R00-M0", "R02-M0"],
+            "errcode": ["KERN_PANIC", "DDR_ERR", "LINK_ERR"],
+            "sev": [5, 4, 3],
+        }
+    )
+
+
+class TestInnerJoin:
+    def test_match_count(self, jobs, events):
+        out = jobs.join(events, on="location")
+        # jobs 1 and 4 each match 2 events at R00-M0
+        assert out.num_rows == 4
+
+    def test_row_pairing(self, jobs, events):
+        out = jobs.join(events, on="location")
+        r00 = out.filter(out.mask_eq("job_id", 1))
+        assert set(r00["errcode"]) == {"KERN_PANIC", "DDR_ERR"}
+
+    def test_no_matches(self, jobs):
+        other = Frame({"location": ["R99-M9"], "x": [1]})
+        assert jobs.join(other, on="location").num_rows == 0
+
+    def test_left_order_preserved(self, jobs, events):
+        out = jobs.join(events, on="location")
+        assert list(out["job_id"]) == sorted(out["job_id"])
+
+    def test_missing_key_raises(self, jobs, events):
+        with pytest.raises(KeyError):
+            jobs.join(events, on="nope")
+
+    def test_multi_key(self):
+        l = Frame({"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [10, 20, 30]})
+        r = Frame({"a": [1, 2], "b": ["x", "x"], "w": [100, 200]})
+        out = l.join(r, on=["a", "b"])
+        assert list(out["v"]) == [10, 30]
+        assert list(out["w"]) == [100, 200]
+
+    def test_colliding_column_suffixed(self):
+        l = Frame({"k": [1], "v": [1]})
+        r = Frame({"k": [1], "v": [2]})
+        out = l.join(r, on="k")
+        assert set(out.columns) == {"k", "v", "v_right"}
+
+    def test_mismatched_key_kinds_rejected(self):
+        l = Frame({"k": [1]})
+        r = Frame({"k": ["1"], "v": [2]})
+        with pytest.raises(TypeError):
+            l.join(r, on="k")
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_kept(self, jobs, events):
+        out = jobs.join(events, on="location", how="left")
+        assert set(out["job_id"]) == {1, 2, 3, 4}
+        assert out.num_rows == 6  # 2+1+1+2
+
+    def test_numeric_fill_nan(self, jobs, events):
+        out = jobs.join(events, on="location", how="left")
+        unmatched = out.filter(out.mask_eq("job_id", 2))
+        assert np.isnan(unmatched["sev"][0])
+
+    def test_string_fill_empty(self, jobs, events):
+        out = jobs.join(events, on="location", how="left")
+        unmatched = out.filter(out.mask_eq("job_id", 3))
+        assert unmatched["errcode"][0] == ""
+
+    def test_fully_matched_left_equals_inner(self, events):
+        l = Frame({"location": ["R00-M0"], "j": [9]})
+        inner = l.join(events, on="location")
+        left = l.join(events, on="location", how="left")
+        assert inner.num_rows == left.num_rows == 2
+
+    def test_bad_how_rejected(self, jobs, events):
+        with pytest.raises(ValueError, match="unsupported"):
+            jobs.join(events, on="location", how="outer")
+
+    def test_empty_right(self, jobs):
+        empty = Frame({"location": np.array([], dtype=object), "x": np.array([], dtype=np.int64)})
+        out = jobs.join(empty, on="location", how="left")
+        assert out.num_rows == 4
+        assert np.isnan(out["x"]).all()

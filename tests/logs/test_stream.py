@@ -1,0 +1,73 @@
+"""Unit tests for streaming RAS log access."""
+
+import pytest
+
+from repro.logs import RasLog, write_ras_log
+from repro.logs.stream import extract_fatal, iter_ras_chunks, scan_severity_counts
+from tests.logs.test_ras import make_record
+
+
+@pytest.fixture
+def big_log(tmp_path):
+    records = []
+    for i in range(1, 1001):
+        severity = "FATAL" if i % 10 == 0 else ("WARN" if i % 3 == 0 else "INFO")
+        records.append(make_record(recid=i, t=1000.0 + i, severity=severity))
+    path = tmp_path / "ras.log"
+    write_ras_log(RasLog.from_records(records), path)
+    return path
+
+
+class TestChunking:
+    def test_chunks_cover_everything(self, big_log):
+        chunks = list(iter_ras_chunks(big_log, chunk_rows=128))
+        assert sum(len(c) for c in chunks) == 1000
+        assert len(chunks) == 8  # ceil(1000/128)
+
+    def test_chunk_contents_typed(self, big_log):
+        chunk = next(iter_ras_chunks(big_log, chunk_rows=10))
+        assert chunk.frame["event_time"].dtype.kind == "f"
+        assert chunk.frame["recid"].dtype.kind == "i"
+
+    def test_single_chunk_when_large(self, big_log):
+        chunks = list(iter_ras_chunks(big_log, chunk_rows=10_000))
+        assert len(chunks) == 1
+
+    def test_bad_chunk_rows(self, big_log):
+        with pytest.raises(ValueError):
+            next(iter_ras_chunks(big_log, chunk_rows=0))
+
+    def test_bad_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.log"
+        p.write_text("nope:str\nx\n")
+        with pytest.raises(ValueError, match="header"):
+            next(iter_ras_chunks(p))
+
+
+class TestScans:
+    def test_severity_counts_match_full_load(self, big_log):
+        from repro.logs import read_ras_log
+
+        streamed = scan_severity_counts(big_log, chunk_rows=100)
+        full = read_ras_log(big_log).severity_counts()
+        assert streamed == full
+
+    def test_extract_fatal(self, big_log):
+        fatal = extract_fatal(big_log, chunk_rows=100)
+        assert len(fatal) == 100
+        assert set(fatal.frame["severity"]) == {"FATAL"}
+
+    def test_extract_fatal_empty(self, tmp_path):
+        path = tmp_path / "clean.log"
+        write_ras_log(
+            RasLog.from_records([make_record(severity="INFO")]), path
+        )
+        assert len(extract_fatal(path)) == 0
+
+    def test_streamed_fatal_feeds_pipeline(self, big_log):
+        """The streamed FATAL subset is a valid pipeline input."""
+        from repro.core.events import fatal_event_table
+
+        fatal = extract_fatal(big_log, chunk_rows=64)
+        table = fatal_event_table(fatal)
+        assert len(table) == 100

@@ -1,0 +1,78 @@
+"""Unit tests for log text io and BG/P timestamps."""
+
+import pytest
+
+from repro.logs import (
+    JobLog,
+    RasLog,
+    format_bgp_time,
+    parse_bgp_time,
+    read_job_log,
+    read_ras_log,
+    write_job_log,
+    write_ras_log,
+)
+from repro.logs.textio import describe_job_record, describe_ras_record
+
+from tests.logs.test_job import make_job
+from tests.logs.test_ras import make_record
+
+
+class TestBgpTime:
+    def test_format_matches_table2_shape(self):
+        s = format_bgp_time(1208185692.285324)
+        # e.g. 2008-04-14-15.08.12.285324
+        assert len(s) == 26
+        assert s[4] == s[7] == s[10] == "-"
+        assert s[13] == s[16] == s[19] == "."
+
+    def test_roundtrip(self):
+        t = 1231161600.123456
+        assert parse_bgp_time(format_bgp_time(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_paper_example(self):
+        t = parse_bgp_time("2008-04-14-15.08.12.285324")
+        assert format_bgp_time(t) == "2008-04-14-15.08.12.285324"
+
+
+class TestRasRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        log = RasLog.from_records(
+            [make_record(recid=i, t=100.0 + i * 0.5) for i in range(5)]
+        )
+        p = tmp_path / "ras.log"
+        write_ras_log(log, p)
+        back = read_ras_log(p)
+        assert len(back) == 5
+        assert list(back.frame["recid"]) == list(log.frame["recid"])
+        assert back.frame["event_time"][3] == pytest.approx(101.5, abs=1e-6)
+
+    def test_bgp_timestamps_on_disk(self, tmp_path):
+        log = RasLog.from_records([make_record(t=1231161600.0)])
+        p = tmp_path / "ras.log"
+        write_ras_log(log, p)
+        assert "2009-01-05" in p.read_text()
+
+
+class TestJobRoundTrip:
+    def test_file_roundtrip(self, tmp_path):
+        log = JobLog.from_records([make_job(job_id=i) for i in range(1, 4)])
+        p = tmp_path / "job.log"
+        write_job_log(log, p)
+        back = read_job_log(p)
+        assert back.num_jobs == 3
+        assert list(back.frame["executable"]) == list(log.frame["executable"])
+
+
+class TestCards:
+    def test_ras_card_mentions_all_fields(self):
+        log = RasLog.from_records([make_record()])
+        card = describe_ras_record(log.frame.row(0))
+        for label in ("RECID", "MSG_ID", "COMPONENT", "SEVERITY", "LOCATION"):
+            assert label in card
+
+    def test_job_card_mentions_table3_fields(self):
+        log = JobLog.from_records([make_job()])
+        card = describe_job_record(log.frame.row(0))
+        for label in ("Job ID", "Execution File", "Queuing Time", "Location"):
+            assert label in card

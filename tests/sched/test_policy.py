@@ -1,0 +1,102 @@
+"""Unit tests for the partition allocation policy."""
+
+import numpy as np
+import pytest
+
+from repro.machine.partition import Partition
+from repro.machine.topology import NUM_MIDPLANES
+from repro.sched import IntrepidPolicy
+
+
+@pytest.fixture
+def policy():
+    return IntrepidPolicy()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def all_free():
+    return np.ones(NUM_MIDPLANES, dtype=bool)
+
+
+class TestRegionPreferences:
+    def test_small_jobs_prefer_edge_region(self, policy, rng):
+        picks = [policy.choose(1, all_free(), rng).start for _ in range(50)]
+        in_small_region = [p for p in picks if 64 <= p < 80]
+        assert len(in_small_region) == 50
+
+    def test_wide_jobs_prefer_reserved_region(self, policy, rng):
+        p = policy.choose(32, all_free(), rng)
+        assert p.start == 32  # fully inside [32, 64)
+
+    def test_medium_jobs_prefer_middle(self, policy, rng):
+        picks = [policy.choose(8, all_free(), rng).start for _ in range(30)]
+        assert all(4 <= s < 32 for s in picks)
+
+    def test_small_falls_back_when_region_busy(self, policy, rng):
+        free = all_free()
+        free[64:80] = False
+        p = policy.choose(1, free, rng)
+        assert 0 <= p.start < 4  # secondary region
+
+    def test_size_rounded_to_partition(self, policy, rng):
+        p = policy.choose(3, all_free(), rng)
+        assert p.size == 4
+
+
+class TestAllocationConstraints:
+    def test_none_when_no_fit(self, policy, rng):
+        free = np.zeros(NUM_MIDPLANES, dtype=bool)
+        assert policy.choose(1, free, rng) is None
+
+    def test_partition_entirely_free(self, policy, rng):
+        free = all_free()
+        free[33] = False
+        for _ in range(20):
+            p = policy.choose(32, free, rng)
+            assert not (p.start <= 33 < p.start + p.size)
+
+    def test_whole_machine(self, policy, rng):
+        p = policy.choose(80, all_free(), rng)
+        assert p == Partition(0, 80)
+
+
+class TestAffinity:
+    def test_preferred_partition_honored(self, rng):
+        policy = IntrepidPolicy(affinity=1.0)
+        preferred = Partition(10, 1)
+        p = policy.choose(1, all_free(), rng, preferred=preferred)
+        assert p == preferred
+
+    def test_zero_affinity_ignores_preference(self, rng):
+        policy = IntrepidPolicy(affinity=0.0)
+        preferred = Partition(10, 1)
+        picks = {
+            str(policy.choose(1, all_free(), rng, preferred=preferred))
+            for _ in range(20)
+        }
+        assert str(preferred) not in picks  # small jobs go to 64-79
+
+    def test_busy_preferred_falls_through(self, rng):
+        policy = IntrepidPolicy(affinity=1.0)
+        free = all_free()
+        free[10] = False
+        p = policy.choose(1, free, rng, preferred=Partition(10, 1))
+        assert p != Partition(10, 1)
+
+    def test_preferred_size_mismatch_ignored(self, rng):
+        policy = IntrepidPolicy(affinity=1.0)
+        p = policy.choose(4, all_free(), rng, preferred=Partition(10, 1))
+        assert p.size == 4
+
+    def test_statistical_affinity_rate(self, rng):
+        policy = IntrepidPolicy(affinity=0.574)
+        preferred = Partition(70, 1)
+        hits = sum(
+            policy.choose(1, all_free(), rng, preferred=preferred) == preferred
+            for _ in range(2000)
+        )
+        assert 0.52 < hits / 2000 < 0.63

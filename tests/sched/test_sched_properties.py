@@ -1,0 +1,74 @@
+"""Property-based tests for scheduler components."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.topology import NUM_MIDPLANES
+from repro.sched import EventQueue, IntrepidPolicy
+from repro.workload.tables import SIZE_CLASSES
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1e6, allow_nan=False), st.integers(0, 5)),
+        min_size=0,
+        max_size=60,
+    )
+)
+def test_event_queue_pops_in_time_order(entries):
+    q = EventQueue()
+    for t, kind in entries:
+        q.push(t, str(kind))
+    times = []
+    while q:
+        times.append(q.pop().time)
+    assert times == sorted(times)
+    assert len(times) == len(entries)
+
+
+@given(
+    st.lists(st.booleans(), min_size=NUM_MIDPLANES, max_size=NUM_MIDPLANES),
+    st.sampled_from(SIZE_CLASSES),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_policy_never_returns_busy_partition(free_list, size, seed):
+    free = np.array(free_list, dtype=bool)
+    rng = np.random.default_rng(seed)
+    choice = IntrepidPolicy().choose(int(size), free, rng)
+    if choice is not None:
+        assert free[choice.start : choice.start + choice.size].all()
+        assert choice.size >= size
+
+
+@given(st.sampled_from(SIZE_CLASSES), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_policy_finds_partition_on_empty_machine(size, seed):
+    free = np.ones(NUM_MIDPLANES, dtype=bool)
+    rng = np.random.default_rng(seed)
+    assert IntrepidPolicy().choose(int(size), free, rng) is not None
+
+
+@given(
+    st.lists(st.floats(1.0, 1e5, allow_nan=False), min_size=1, max_size=20),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_breakage_kill_detection_threshold(delays, seed):
+    """record_kill fires exactly at max_kills regardless of cadence."""
+    from repro.faults.catalog import STICKY_TYPES
+    from repro.sched import BreakageTable
+
+    rng = np.random.default_rng(seed)
+    table = BreakageTable()
+    b = table.open(0, STICKY_TYPES[0], 0.0, 1, rng)
+    fired_at = None
+    for i, _ in enumerate(delays, start=2):
+        if b.record_kill():
+            fired_at = i
+            break
+    if fired_at is not None:
+        assert fired_at == b.max_kills
+    else:
+        assert b.kills < b.max_kills

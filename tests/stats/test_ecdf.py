@@ -1,0 +1,91 @@
+"""Unit tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+
+from repro.stats import EmpiricalCDF
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def cdf(self):
+        return EmpiricalCDF.from_samples(np.array([1.0, 2.0, 2.0, 5.0]))
+
+    def test_step_values(self, cdf):
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.0) == 0.75
+        assert cdf(4.9) == 0.75
+        assert cdf(5.0) == 1.0
+
+    def test_right_continuity(self, cdf):
+        assert cdf(2.0) == cdf(2.0 + 1e-12)
+
+    def test_vectorized(self, cdf):
+        out = cdf(np.array([0.0, 2.0, 10.0]))
+        assert list(out) == [0.0, 0.75, 1.0]
+
+    def test_n(self, cdf):
+        assert cdf.n == 4
+
+    def test_points_staircase(self, cdf):
+        x, y = cdf.points()
+        assert list(x) == [1.0, 2.0, 2.0, 5.0]
+        assert list(y) == [0.25, 0.5, 0.75, 1.0]
+
+
+class TestQuantiles:
+    def test_quantile_nearest_rank(self):
+        cdf = EmpiricalCDF.from_samples(np.arange(1.0, 11.0))
+        assert cdf.quantile(0.5) == 5.0
+        assert cdf.quantile(1.0) == 10.0
+        assert cdf.quantile(0.0) == 1.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = EmpiricalCDF.from_samples(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_median_of_paper_like_sample(self):
+        rng = np.random.default_rng(3)
+        x = 8000 * rng.weibull(0.4, 5000)
+        cdf = EmpiricalCDF.from_samples(x)
+        assert cdf(cdf.quantile(0.5)) == pytest.approx(0.5, abs=0.01)
+
+
+class TestSeriesAndDistance:
+    def test_log_spaced_series_monotone(self):
+        rng = np.random.default_rng(5)
+        cdf = EmpiricalCDF.from_samples(rng.exponential(100, 1000))
+        x, y = cdf.log_spaced_series(40)
+        assert len(x) == 40
+        assert (np.diff(y) >= 0).all()
+        assert y[-1] == 1.0
+
+    def test_ks_distance_to_own_model_small(self):
+        rng = np.random.default_rng(6)
+        x = rng.exponential(10.0, 5000)
+        from repro.stats import fit_exponential
+
+        fit = fit_exponential(x)
+        ecdf = EmpiricalCDF.from_samples(x)
+        assert ecdf.ks_distance(fit.cdf) < 0.03
+
+    def test_ks_distance_to_wrong_model_large(self):
+        rng = np.random.default_rng(8)
+        x = 100.0 * rng.weibull(0.35, 5000)
+        from repro.stats import fit_exponential
+
+        fit = fit_exponential(x[x > 0])
+        ecdf = EmpiricalCDF.from_samples(x[x > 0])
+        assert ecdf.ks_distance(fit.cdf) > 0.1
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples(np.array([1.0, np.nan]))

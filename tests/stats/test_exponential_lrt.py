@@ -1,0 +1,74 @@
+"""Unit tests for exponential fitting and the likelihood-ratio test."""
+
+import numpy as np
+import pytest
+
+from repro.stats import compare_interarrival_models, fit_exponential
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestExponentialFit:
+    def test_rate_is_inverse_mean(self):
+        fit = fit_exponential(np.array([2.0, 4.0, 6.0]))
+        assert fit.rate == pytest.approx(1.0 / 4.0)
+        assert fit.mean == pytest.approx(4.0)
+        assert fit.variance == pytest.approx(16.0)
+
+    def test_cdf_sf(self):
+        fit = fit_exponential(np.array([1.0, 1.0, 4.0]))
+        assert fit.cdf(0.0) == 0.0
+        t = np.array([0.5, 2.0])
+        assert np.allclose(fit.cdf(t) + fit.sf(t), 1.0)
+
+    def test_constant_hazard(self):
+        fit = fit_exponential(np.array([1.0, 3.0]))
+        h = fit.hazard(np.array([1.0, 100.0]))
+        assert h[0] == h[1] == pytest.approx(fit.rate)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([]))
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([-1.0]))
+
+    def test_loglik_at_mle(self, rng):
+        x = rng.exponential(10.0, 1000)
+        fit = fit_exponential(x)
+        # MLE log-likelihood: n(log rate - 1)
+        assert fit.log_likelihood == pytest.approx(len(x) * (np.log(fit.rate) - 1.0))
+
+
+class TestLikelihoodRatio:
+    def test_weibull_wins_on_weibull_data(self, rng):
+        """The paper's core fit result: Weibull beats exponential on
+        failure interarrivals with shape well below 1."""
+        x = 8000.0 * rng.weibull(0.4, size=2000)
+        cmp = compare_interarrival_models(x[x > 0])
+        assert cmp.weibull_preferred
+        assert cmp.p_value < 1e-6
+        assert cmp.weibull.shape < 1.0
+
+    def test_exponential_survives_on_exponential_data(self, rng):
+        x = rng.exponential(100.0, size=500)
+        cmp = compare_interarrival_models(x)
+        # LRT should rarely reject; statistic should be small.
+        assert cmp.lr_statistic < 10.0
+
+    def test_lr_statistic_nonnegative(self, rng):
+        x = rng.exponential(1.0, size=50)
+        cmp = compare_interarrival_models(x)
+        assert cmp.lr_statistic >= 0.0
+
+    def test_aic_ordering_consistent(self, rng):
+        x = 100.0 * rng.weibull(0.5, size=2000)
+        cmp = compare_interarrival_models(x[x > 0])
+        assert cmp.aic_weibull < cmp.aic_exponential
+
+    def test_summary_mentions_preferred_model(self, rng):
+        x = 100.0 * rng.weibull(0.4, size=1000)
+        cmp = compare_interarrival_models(x[x > 0])
+        assert "Weibull" in cmp.summary()

@@ -1,0 +1,108 @@
+"""Unit tests for information-gain feature ranking and bootstrap CIs."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, entropy, gain_ratio, rank_features
+from repro.stats.infogain import conditional_entropy, information_gain
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([0, 1, 0, 1])) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert entropy(np.zeros(10)) == 0.0
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([])) == 0.0
+
+    def test_four_way_uniform(self):
+        assert entropy(np.array([0, 1, 2, 3])) == pytest.approx(2.0)
+
+    def test_string_labels(self):
+        assert entropy(np.array(["a", "b"], dtype=object)) == pytest.approx(1.0)
+
+
+class TestInformationGain:
+    def test_perfect_predictor(self):
+        labels = np.array([0, 0, 1, 1])
+        feature = np.array(["x", "x", "y", "y"], dtype=object)
+        assert information_gain(labels, feature) == pytest.approx(1.0)
+        assert gain_ratio(labels, feature) == pytest.approx(1.0)
+
+    def test_useless_predictor(self):
+        labels = np.array([0, 1, 0, 1])
+        feature = np.array(["x", "x", "y", "y"], dtype=object)
+        assert information_gain(labels, feature) == pytest.approx(0.0)
+
+    def test_conditional_entropy_bounds(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 100)
+        feature = rng.integers(0, 4, 100)
+        ce = conditional_entropy(labels, feature)
+        assert 0.0 <= ce <= entropy(labels) + 1e-12
+
+    def test_constant_feature_gain_ratio_zero(self):
+        labels = np.array([0, 1, 0, 1])
+        assert gain_ratio(labels, np.zeros(4)) == 0.0
+
+    def test_gain_ratio_penalizes_fragmentation(self):
+        """A many-valued feature with mild signal must not beat a
+        two-valued feature with strong signal — Observation 12's point
+        about suspicious users."""
+        rng = np.random.default_rng(2)
+        n = 2000
+        labels = rng.integers(0, 2, n)
+        strong = labels.copy()  # 2-valued, perfectly aligned
+        fragmented = np.arange(n) % 500  # 500-valued, unrelated
+        assert gain_ratio(labels, strong) > gain_ratio(labels, fragmented)
+
+
+class TestRankFeatures:
+    def test_order_and_fields(self):
+        rng = np.random.default_rng(3)
+        n = 500
+        labels = rng.integers(0, 2, n)
+        feats = {
+            "size": labels * 2,          # perfect
+            "noise": rng.integers(0, 3, n),
+            "constant": np.zeros(n, dtype=int),
+        }
+        ranked = rank_features(labels, feats)
+        assert ranked[0].name == "size"
+        assert ranked[-1].name == "constant"
+        assert ranked[0].gain_ratio >= ranked[1].gain_ratio
+
+    def test_deterministic_tie_break(self):
+        labels = np.array([0, 1])
+        feats = {"b": np.array([0, 0]), "a": np.array([1, 1])}
+        ranked = rank_features(labels, feats)
+        assert [s.name for s in ranked] == ["a", "b"]
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(4)
+        x = rng.exponential(100.0, size=400)
+        ci = bootstrap_ci(x, n_resamples=500, rng=rng)
+        assert ci.low < ci.estimate < ci.high
+        assert 100.0 in ci
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(5)
+        small = bootstrap_ci(rng.exponential(1.0, 50), n_resamples=300, rng=rng)
+        large = bootstrap_ci(rng.exponential(1.0, 5000), n_resamples=300, rng=rng)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), confidence=1.5)
+
+    def test_custom_statistic(self):
+        rng = np.random.default_rng(6)
+        x = rng.exponential(10.0, 200)
+        ci = bootstrap_ci(x, statistic=np.median, n_resamples=200, rng=rng)
+        assert ci.low <= np.median(x) <= ci.high

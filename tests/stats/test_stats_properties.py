@@ -1,0 +1,93 @@
+"""Property-based tests for the stats substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats import (
+    EmpiricalCDF,
+    compare_interarrival_models,
+    fit_exponential,
+    fit_weibull,
+    gain_ratio,
+    pearson,
+)
+
+positive_samples = hnp.arrays(
+    np.float64,
+    st.integers(min_value=5, max_value=200),
+    elements=st.floats(min_value=0.01, max_value=1e6),
+)
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_weibull_loglik_beats_exponential(x):
+    """The nested model can never out-score the nesting model at MLE."""
+    assume(len(np.unique(x)) > 1)
+    w = fit_weibull(x)
+    e = fit_exponential(x)
+    assert w.log_likelihood >= e.log_likelihood - 1e-6
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_weibull_shape_positive_and_cdf_valid(x):
+    assume(len(np.unique(x)) > 1)
+    fit = fit_weibull(x)
+    assert fit.shape > 0
+    assert fit.scale > 0
+    c = fit.cdf(np.sort(x))
+    assert ((c >= 0) & (c <= 1.0 + 1e-12)).all()
+    assert (np.diff(c) >= -1e-12).all()
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_lrt_pvalue_in_unit_interval(x):
+    assume(len(np.unique(x)) > 1)
+    cmp = compare_interarrival_models(x)
+    assert 0.0 <= cmp.p_value <= 1.0
+    assert cmp.lr_statistic >= 0.0
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_ecdf_is_a_cdf(x):
+    ecdf = EmpiricalCDF.from_samples(x)
+    assert ecdf(-1.0) == 0.0
+    assert ecdf(float(x.max())) == 1.0
+    grid = np.sort(x)
+    vals = ecdf(grid)
+    assert (np.diff(vals) >= 0).all()
+
+
+@given(positive_samples)
+@settings(max_examples=60, deadline=None)
+def test_ecdf_quantile_inverse(x):
+    ecdf = EmpiricalCDF.from_samples(x)
+    for q in (0.1, 0.5, 0.9):
+        v = ecdf.quantile(q)
+        assert ecdf(v) >= q - 1e-12
+
+
+@given(
+    hnp.arrays(np.float64, 30, elements=st.floats(-1e3, 1e3)),
+    hnp.arrays(np.float64, 30, elements=st.floats(-1e3, 1e3)),
+)
+@settings(max_examples=100)
+def test_pearson_bounded(x, y):
+    r = pearson(x, y)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=100),
+    st.lists(st.integers(0, 5), min_size=2, max_size=100),
+)
+@settings(max_examples=100)
+def test_gain_ratio_bounded(labels, feature):
+    n = min(len(labels), len(feature))
+    g = gain_ratio(np.array(labels[:n]), np.array(feature[:n]))
+    assert -1e-9 <= g <= 1.0 + 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for Weibull MLE fitting."""
+
+import numpy as np
+import pytest
+
+from repro.stats import WeibullFit, fit_weibull
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("shape,scale", [(0.4, 8000.0), (0.6, 70000.0), (1.5, 10.0)])
+    def test_parameters_recovered(self, rng, shape, scale):
+        x = scale * rng.weibull(shape, size=20000)
+        x = x[x > 0]
+        fit = fit_weibull(x)
+        assert fit.shape == pytest.approx(shape, rel=0.05)
+        assert fit.scale == pytest.approx(scale, rel=0.05)
+
+    def test_exponential_data_gives_shape_one(self, rng):
+        x = rng.exponential(100.0, size=20000)
+        fit = fit_weibull(x)
+        assert fit.shape == pytest.approx(1.0, rel=0.05)
+
+    def test_mean_formula(self):
+        fit = WeibullFit(shape=0.5, scale=100.0, n=10, log_likelihood=0.0)
+        # mean = scale * Gamma(3) = 100 * 2
+        assert fit.mean == pytest.approx(200.0)
+
+    def test_variance_formula(self):
+        fit = WeibullFit(shape=1.0, scale=50.0, n=10, log_likelihood=0.0)
+        assert fit.variance == pytest.approx(2500.0)
+
+    def test_table4_regime(self, rng):
+        """Shapes and scales of Table IV order of magnitude fit cleanly."""
+        x = 8116.7 * rng.weibull(0.387, size=5000)
+        fit = fit_weibull(x[x > 0])
+        assert 0.3 < fit.shape < 0.5
+        assert fit.decreasing_hazard
+
+
+class TestDistributionFunctions:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return WeibullFit(shape=0.5, scale=1000.0, n=100, log_likelihood=0.0)
+
+    def test_cdf_limits(self, fit):
+        assert fit.cdf(0.0) == 0.0
+        assert fit.cdf(1e12) == pytest.approx(1.0)
+
+    def test_cdf_sf_complement(self, fit):
+        t = np.array([1.0, 10.0, 1000.0])
+        assert np.allclose(fit.cdf(t) + fit.sf(t), 1.0)
+
+    def test_cdf_monotone(self, fit):
+        t = np.linspace(0, 5000, 100)
+        assert (np.diff(fit.cdf(t)) >= 0).all()
+
+    def test_hazard_decreasing_for_shape_below_one(self, fit):
+        t = np.array([10.0, 100.0, 1000.0])
+        h = fit.hazard(t)
+        assert h[0] > h[1] > h[2]
+
+    def test_scalar_in_scalar_out(self, fit):
+        assert isinstance(fit.cdf(5.0), float)
+        assert isinstance(fit.hazard(5.0), float)
+
+    def test_conditional_probability_decreases_with_elapsed(self, fit):
+        """Decreasing hazard: surviving longer lowers near-term risk —
+        the mechanism behind Observation 10."""
+        p_fresh = fit.conditional_interruption_probability(0.0, 100.0)
+        p_aged = fit.conditional_interruption_probability(10000.0, 100.0)
+        assert p_fresh > p_aged
+
+    def test_conditional_probability_bounds(self, fit):
+        p = fit.conditional_interruption_probability(100.0, 100.0)
+        assert 0.0 <= p <= 1.0
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_weibull(np.array([1.0]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_weibull(np.array([1.0, 0.0]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weibull(np.array([1.0, np.nan]))
+
+    def test_identical_samples_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            fit_weibull(np.full(10, 3.0))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fit_weibull(np.ones((2, 2)))
+
+    def test_loglik_finite(self):
+        fit = fit_weibull(np.array([1.0, 2.0, 3.0, 10.0]))
+        assert np.isfinite(fit.log_likelihood)

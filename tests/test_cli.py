@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--out-dir", "/tmp/x", "--scale", "0.1", "--seed", "3"]
+        )
+        assert args.command == "simulate"
+        assert args.scale == 0.1
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log"]
+        )
+        assert args.command == "analyze"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEndToEnd:
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        rc = main(
+            ["simulate", "--out-dir", str(tmp_path), "--scale", "0.01",
+             "--seed", "5"]
+        )
+        assert rc == 0
+        assert (tmp_path / "ras.log").exists()
+        assert (tmp_path / "job.log").exists()
+        rc = main(
+            ["analyze", "--ras", str(tmp_path / "ras.log"),
+             "--job", str(tmp_path / "job.log")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CO-ANALYSIS" in out
+        assert "Obs." in out
+
+    def test_demo(self, capsys):
+        rc = main(["demo", "--scale", "0.01", "--seed", "5"])
+        assert rc == 0
+        assert "Table IV" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for population synthesis."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.workload import Population, PopulationProfile
+from repro.workload.tables import SIZE_CLASSES, TABLE_VI_TOTALS
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return Population.generate(np.random.default_rng(11))
+
+
+class TestPaperCounts:
+    def test_user_project_counts(self, pop):
+        assert len(pop.users) == 236
+        assert len(pop.suspicious_users) == 16
+        assert len(pop.projects) == 91
+        assert len(pop.suspicious_projects) == 19
+
+    def test_executable_count(self, pop):
+        assert pop.num_executables == 9664
+
+    def test_total_submissions_exact(self, pop):
+        assert pop.total_planned_submissions() == 68794
+
+    def test_multi_submission_share(self, pop):
+        # paper: 5,547 of 9,664 submitted more than once
+        assert abs(pop.multi_submitted_count() - 5547) < 120
+
+    def test_cell_margins_track_table6(self, pop):
+        per_size = collections.Counter()
+        for e in pop.executables:
+            per_size[e.size_midplanes] += e.planned_submissions
+        for i, size in enumerate(SIZE_CLASSES):
+            expected = TABLE_VI_TOTALS[i].sum()
+            got = per_size.get(size, 0)
+            assert abs(got - expected) <= max(10, 0.05 * expected), (size, got)
+
+
+class TestStructure:
+    def test_every_executable_has_owner_and_project(self, pop):
+        users, projects = set(pop.users), set(pop.projects)
+        for e in pop.executables:
+            assert e.user in users
+            assert e.project in projects
+            assert e.planned_submissions >= 1
+
+    def test_suspicious_users_own_wide_codes(self, pop):
+        wide = [e for e in pop.executables if e.size_midplanes >= 32]
+        share = sum(1 for e in wide if e.user in pop.suspicious_users) / len(wide)
+        narrow = [e for e in pop.executables if e.size_midplanes <= 2]
+        share_narrow = sum(
+            1 for e in narrow if e.user in pop.suspicious_users
+        ) / len(narrow)
+        assert share > share_narrow
+
+    def test_heavy_submitters_never_buggy(self, pop):
+        for e in pop.executables:
+            if e.planned_submissions > 40:
+                assert not pop.app_errors.is_buggy(e.path)
+
+    def test_buggy_count_near_target(self, pop):
+        # ~100 buggy codes produce the paper's ~102 app interruptions
+        assert 30 <= pop.app_errors.num_buggy <= 220
+
+    def test_scaled_profile(self):
+        profile = PopulationProfile(num_executables=500, total_submissions=3000)
+        pop = Population.generate(np.random.default_rng(3), profile=profile)
+        assert pop.num_executables == 500
+        assert pop.total_planned_submissions() == 3000
+
+    def test_executable_paths_unique(self, pop):
+        paths = [e.path for e in pop.executables]
+        assert len(set(paths)) == len(paths)
