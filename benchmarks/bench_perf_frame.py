@@ -41,6 +41,21 @@ def test_perf_filter_500k(benchmark, big_frame):
     assert 0 < out.num_rows < big_frame.num_rows
 
 
+def test_perf_distinct_500k(benchmark, big_frame):
+    """first_occurrence_mask-based dedup; was a Python set loop."""
+    out = benchmark(big_frame.distinct, ["user", "size"])
+    assert out.num_rows <= 236 * 7
+
+
+def test_perf_groupby_int_sum_500k(benchmark, big_frame):
+    """Integer sums stay int64 (reduceat path, not float bincount)."""
+    out = benchmark(
+        lambda f: f.groupby("user").agg(total_size=("size", "sum")),
+        big_frame,
+    )
+    assert out.col("total_size").dtype == np.int64
+
+
 def test_perf_join_500k_x_236(benchmark, big_frame):
     users = big_frame.unique("user")
     lookup = Frame(

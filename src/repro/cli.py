@@ -19,8 +19,10 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core import CoAnalysis
+from repro.core import CoAnalysis, InterruptionMatcher
+from repro.core.matching import DEFAULT_TOLERANCE
 from repro.logs import read_job_log, read_ras_log, write_job_log, write_ras_log
+from repro.perf import render_timings
 from repro.simulate import CalibrationProfile, IntrepidSimulation
 
 
@@ -28,6 +30,35 @@ def _add_profile_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=0.2,
                    help="trace volume multiplier in (0, 1] (default 0.2)")
     p.add_argument("--seed", type=int, default=2011)
+
+
+def _tolerance_seconds(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"tolerance must be non-negative, got {text}"
+        )
+    return value
+
+
+def _add_analysis_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--tolerance", type=_tolerance_seconds, default=DEFAULT_TOLERANCE,
+        help="event-job matching tolerance in seconds "
+             f"(default {DEFAULT_TOLERANCE:.0f}, the paper's §IV value)",
+    )
+
+
+def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
+    analysis = CoAnalysis(
+        matcher=InterruptionMatcher(tolerance=args.tolerance)
+    )
+    result = analysis.run(ras_log, job_log)
+    print(result.report())
+    if args.timings:
+        print()
+        print(render_timings(result.timings, title="stage timings (full)"))
+    return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -51,23 +82,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     ras_log = read_ras_log(args.ras)
     job_log = read_job_log(args.job)
-    result = CoAnalysis().run(ras_log, job_log)
-    print(result.report())
-    return 0
+    return _run_analysis(args, ras_log, job_log)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
     profile = CalibrationProfile(seed=args.seed, scale=args.scale)
     trace = IntrepidSimulation(profile).run()
-    result = CoAnalysis().run(trace.ras_log, trace.job_log)
-    print(result.report())
-    return 0
+    return _run_analysis(args, trace.ras_log, trace.job_log)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-coanalysis",
         description="Co-analysis of RAS and job logs (IPDPS'11 reproduction)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print the full per-stage timing table (incl. match.* "
+             "kernel sub-stages) after the report",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -79,10 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="co-analyze a (RAS, job) log pair")
     p_an.add_argument("--ras", required=True)
     p_an.add_argument("--job", required=True)
+    _add_analysis_args(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="simulate + analyze in memory")
     _add_profile_args(p_demo)
+    _add_analysis_args(p_demo)
     p_demo.set_defaults(func=cmd_demo)
     return parser
 

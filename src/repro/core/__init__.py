@@ -28,7 +28,12 @@ from repro.core.filtering import (
     SpatialFilter,
     TemporalFilter,
 )
-from repro.core.matching import InterruptionMatcher, MatchResult
+from repro.core.matching import (
+    DEFAULT_TOLERANCE,
+    InterruptionMatcher,
+    MatchResult,
+)
+from repro.core.matching_reference import ReferenceInterruptionMatcher
 from repro.core.identify import EventTypeIdentifier, TypeBehavior
 from repro.core.classify import FailureClassifier, FailureOrigin
 from repro.core.pipeline import CoAnalysis, CoAnalysisResult
@@ -41,7 +46,9 @@ __all__ = [
     "CausalityFilter",
     "JobRelatedFilter",
     "FilterChain",
+    "DEFAULT_TOLERANCE",
     "InterruptionMatcher",
+    "ReferenceInterruptionMatcher",
     "MatchResult",
     "EventTypeIdentifier",
     "TypeBehavior",

@@ -1,0 +1,246 @@
+"""Row-at-a-time reference implementation of the interruption matcher.
+
+This is the pre-vectorization matching kernel, kept verbatim in spirit:
+a Python loop over events with per-midplane list queries, ``jobs.row``
+dicts, and ``Frame.from_rows`` assembly. It exists so the vectorized
+kernel in :mod:`repro.core.matching` can be golden-tested against an
+independent implementation of the same §IV join semantics — and so a
+future reader can see the algorithm stated plainly.
+
+The only behavioural deltas from the original seed code are the two
+correctness fixes both implementations now share:
+
+* ``mp`` records the midplane that actually matched (the smallest
+  matching midplane of the event's span, or — for cross-location
+  credit — of the job's partition), not unconditionally ``mp_lo``;
+* the default tolerance is the paper's 60 s.
+
+Do not optimize this module; its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.events import FatalEventTable
+from repro.frame import Frame
+from repro.logs.job import JobLog
+from repro.machine.partition import parse_partition
+from repro.machine.topology import NUM_MIDPLANES
+
+from repro.core.matching import (
+    CASE_IDLE,
+    CASE_INTERRUPTS,
+    CASE_RUNNING_UNHARMED,
+    DEFAULT_TOLERANCE,
+    INTERRUPTION_COLUMNS,
+    INTERRUPTION_DTYPES,
+    MatchResult,
+    _first_event_per_job,
+)
+
+
+@dataclass
+class ReferenceInterruptionMatcher:
+    """Time+location join between fatal events and job terminations.
+
+    Same contract as :class:`repro.core.matching.InterruptionMatcher`;
+    see that class for the semantics. This one trades speed for
+    legibility.
+    """
+
+    tolerance: float = DEFAULT_TOLERANCE
+
+    def match(
+        self,
+        events: FatalEventTable,
+        job_log: JobLog,
+        raw_events: FatalEventTable | None = None,
+    ) -> MatchResult:
+        if self.tolerance < 0:
+            raise ValueError(
+                f"tolerance must be non-negative, got {self.tolerance}"
+            )
+        jobs = job_log.frame
+        index = _JobIntervalIndex(jobs)
+        raw_index = _RawTypeIndex(raw_events) if raw_events is not None else None
+
+        pair_rows: list[dict] = []
+        event_cases: dict[int, int] = {}
+        ev = events.frame
+        for i in range(ev.num_rows):
+            eid = int(ev["event_id"][i])
+            t = float(ev["event_time"][i])
+            errcode = ev["errcode"][i]
+            matched_mp: dict[int, int] = {}  # job row -> midplane that matched
+            any_running = False
+            for mp in range(int(ev["mp_lo"][i]), int(ev["mp_hi"][i]) + 1):
+                for row in index.ending_near(mp, t, self.tolerance):
+                    matched_mp.setdefault(row, mp)
+                if not matched_mp and not any_running:
+                    any_running = index.any_running(mp, t)
+            if matched_mp and raw_index is not None:
+                for row in index.ending_anywhere(t, self.tolerance):
+                    if row in matched_mp:
+                        continue
+                    mp = raw_index.type_seen_at_job(
+                        errcode, jobs, row, t, self.tolerance
+                    )
+                    if mp is not None:
+                        matched_mp[row] = mp
+            if matched_mp:
+                event_cases[eid] = CASE_INTERRUPTS
+                for row_idx in sorted(matched_mp):
+                    r = jobs.row(row_idx)
+                    pair_rows.append(
+                        {
+                            "event_id": eid,
+                            "job_id": r["job_id"],
+                            "event_time": t,
+                            "errcode": errcode,
+                            "executable": r["executable"],
+                            "user": r["user"],
+                            "project": r["project"],
+                            "size_midplanes": r["size_midplanes"],
+                            "job_location": r["location"],
+                            "mp": matched_mp[row_idx],
+                            "job_start": r["start_time"],
+                            "job_end": r["end_time"],
+                        }
+                    )
+            elif any_running:
+                event_cases[eid] = CASE_RUNNING_UNHARMED
+            else:
+                event_cases[eid] = CASE_IDLE
+
+        pairs = Frame.from_rows(
+            pair_rows,
+            columns=list(INTERRUPTION_COLUMNS),
+            dtypes=INTERRUPTION_DTYPES,
+        )
+        interruptions = _first_event_per_job(pairs)
+        type_cases = _type_case_table(ev, event_cases)
+        return MatchResult(
+            pairs=pairs,
+            interruptions=interruptions,
+            event_cases=event_cases,
+            type_cases=type_cases,
+        )
+
+
+def _type_case_table(ev: Frame, event_cases: dict[int, int]) -> Frame:
+    rows: dict[str, list[int]] = {}
+    for i in range(ev.num_rows):
+        errcode = ev["errcode"][i]
+        case = event_cases[int(ev["event_id"][i])]
+        counts = rows.setdefault(errcode, [0, 0, 0])
+        counts[case - 1] += 1
+    return Frame.from_rows(
+        [
+            {
+                "errcode": e,
+                "case1": c[0],
+                "case2": c[1],
+                "case3": c[2],
+            }
+            for e, c in sorted(rows.items())
+        ],
+        columns=["errcode", "case1", "case2", "case3"],
+        dtypes={
+            "errcode": object,
+            "case1": np.int64,
+            "case2": np.int64,
+            "case3": np.int64,
+        },
+    )
+
+
+class _RawTypeIndex:
+    """(errcode, midplane) → sorted event times of the raw record table."""
+
+    def __init__(self, raw_events: FatalEventTable):
+        frame = raw_events.frame
+        buckets: dict[tuple[str, int], list[float]] = {}
+        for errcode, t, lo, hi in zip(
+            frame["errcode"], frame["event_time"], frame["mp_lo"], frame["mp_hi"]
+        ):
+            for mp in range(int(lo), int(hi) + 1):
+                buckets.setdefault((errcode, mp), []).append(float(t))
+        self._times = {k: np.sort(np.asarray(v)) for k, v in buckets.items()}
+
+    def seen_near(self, errcode: str, mp: int, t: float, tol: float) -> bool:
+        times = self._times.get((errcode, mp))
+        if times is None:
+            return False
+        i = np.searchsorted(times, t - tol)
+        return bool(i < len(times) and times[i] <= t + tol)
+
+    def type_seen_at_job(
+        self, errcode: str, jobs: Frame, row: int, t: float, tol: float
+    ) -> int | None:
+        """Smallest midplane of the job's partition where the raw stream
+        shows *errcode* within tolerance, or None."""
+        partition = parse_partition(jobs["location"][row])
+        for mp in partition.midplane_indices:
+            if self.seen_near(errcode, mp, t, tol):
+                return mp
+        return None
+
+
+class _JobIntervalIndex:
+    """Per-midplane sorted indexes over job intervals."""
+
+    def __init__(self, jobs: Frame):
+        self._global_ends = np.sort(jobs["end_time"]) if jobs.num_rows else np.array([])
+        self._global_rows = (
+            np.argsort(jobs["end_time"], kind="stable")
+            if jobs.num_rows
+            else np.array([], dtype=np.int64)
+        )
+        per_mp_rows: list[list[int]] = [[] for _ in range(NUM_MIDPLANES)]
+        locations = jobs["location"]
+        for row_idx in range(jobs.num_rows):
+            partition = parse_partition(locations[row_idx])
+            for mp in partition.midplane_indices:
+                per_mp_rows[mp].append(row_idx)
+        starts = jobs["start_time"]
+        ends = jobs["end_time"]
+        self._rows_by_end: list[np.ndarray] = []
+        self._ends_sorted: list[np.ndarray] = []
+        self._rows_by_start: list[np.ndarray] = []
+        self._starts_sorted: list[np.ndarray] = []
+        self._ends_by_start: list[np.ndarray] = []
+        for mp in range(NUM_MIDPLANES):
+            rows = np.asarray(per_mp_rows[mp], dtype=np.int64)
+            e = ends[rows] if len(rows) else np.array([])
+            s = starts[rows] if len(rows) else np.array([])
+            by_end = np.argsort(e, kind="stable")
+            by_start = np.argsort(s, kind="stable")
+            self._rows_by_end.append(rows[by_end] if len(rows) else rows)
+            self._ends_sorted.append(e[by_end] if len(rows) else e)
+            self._rows_by_start.append(rows[by_start] if len(rows) else rows)
+            self._starts_sorted.append(s[by_start] if len(rows) else s)
+            self._ends_by_start.append(e[by_start] if len(rows) else e)
+
+    def ending_anywhere(self, t: float, tol: float) -> list[int]:
+        """Rows of jobs anywhere whose end time is within *tol* of *t*."""
+        lo = np.searchsorted(self._global_ends, t - tol, side="left")
+        hi = np.searchsorted(self._global_ends, t + tol, side="right")
+        return [int(r) for r in self._global_rows[lo:hi]]
+
+    def ending_near(self, mp: int, t: float, tol: float) -> list[int]:
+        """Rows of jobs on *mp* whose end time is within *tol* of *t*."""
+        ends = self._ends_sorted[mp]
+        lo = np.searchsorted(ends, t - tol, side="left")
+        hi = np.searchsorted(ends, t + tol, side="right")
+        return [int(r) for r in self._rows_by_end[mp][lo:hi]]
+
+    def any_running(self, mp: int, t: float) -> bool:
+        """Is any job on *mp* running at instant *t*?"""
+        starts = self._starts_sorted[mp]
+        hi = np.searchsorted(starts, t, side="right")
+        if hi == 0:
+            return False
+        return bool((self._ends_by_start[mp][:hi] > t).any())

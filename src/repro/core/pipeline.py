@@ -29,8 +29,10 @@ from repro.core.vulnerability import (
     vulnerability_study,
 )
 from repro.frame import Frame
+from repro.frame.column import factorize, factorize_many, first_occurrence_mask
 from repro.logs.job import JobLog
 from repro.logs.ras import RasLog
+from repro.perf import StageTimer, StageTiming
 
 
 @dataclass
@@ -64,6 +66,10 @@ class CoAnalysisResult:
     same_location_resubmission_share: float
 
     observations: list[Observation] = field(default_factory=list)
+
+    #: per-stage wall/row counters (pipeline stages plus the matching
+    #: kernel's ``match.*`` sub-stages), in execution order
+    timings: tuple[StageTiming, ...] = ()
 
     # ------------------------------------------------------------------
 
@@ -115,48 +121,68 @@ class CoAnalysis:
 
     def run(self, ras_log: RasLog, job_log: JobLog) -> CoAnalysisResult:
         """Run the full co-analysis over one (RAS log, job log) pair."""
-        events_raw = fatal_event_table(ras_log)
-        events_filtered = self.filters.apply(events_raw)
+        timer = StageTimer()
+        with timer.stage("extract") as st:
+            events_raw = fatal_event_table(ras_log)
+            st.rows = len(events_raw)
+        with timer.stage("filter") as st:
+            events_filtered = self.filters.apply(events_raw)
+            st.rows = len(events_filtered)
         assert self.filters.stats is not None
 
-        match = self.matcher.match(
-            events_filtered, job_log, raw_events=self.filters.temporal_table
-        )
-        identification = self.identifier.identify(match.type_cases)
+        with timer.stage("match") as st:
+            match = self.matcher.match(
+                events_filtered, job_log, raw_events=self.filters.temporal_table
+            )
+            st.rows = match.pairs.num_rows
+        timer.extend(match.timings)
+
+        with timer.stage("identify") as st:
+            identification = self.identifier.identify(match.type_cases)
+            st.rows = match.type_cases.num_rows
         from repro.core.jobindex import CompletedRunIndex
 
-        clean_runs = CompletedRunIndex(
-            job_log, set(int(j) for j in match.interrupted_job_ids())
-        )
-        classification = self.classifier.classify(
-            events_filtered,
-            match.pairs,
-            match.type_cases,
-            nonfatal_types=set(identification.nonfatal_types()),
-            clean_runs=clean_runs,
-        )
-        event_rows = _first_job_per_event(match.pairs)
-        redundant = self.job_filter.redundant_ids(
-            event_rows, job_log, classification.origins, clean_runs=clean_runs
-        )
-        events_final = events_filtered.drop_ids(redundant)
+        with timer.stage("classify") as st:
+            clean_runs = CompletedRunIndex(
+                job_log, set(int(j) for j in match.interrupted_job_ids())
+            )
+            classification = self.classifier.classify(
+                events_filtered,
+                match.pairs,
+                match.type_cases,
+                nonfatal_types=set(identification.nonfatal_types()),
+                clean_runs=clean_runs,
+            )
+        with timer.stage("job_filter") as st:
+            event_rows = _first_job_per_event(match.pairs)
+            redundant = self.job_filter.redundant_ids(
+                event_rows, job_log, classification.origins, clean_runs=clean_runs
+            )
+            events_final = events_filtered.drop_ids(redundant)
+            st.rows = len(events_final)
 
-        interruptions = categorize_interruptions(match.interruptions, classification)
+        with timer.stage("studies") as st:
+            interruptions = categorize_interruptions(
+                match.interruptions, classification
+            )
 
-        interarrivals = interarrival_study(events_filtered, events_final)
-        mtbf = (
-            interarrivals.after.weibull.mean
-            if interarrivals.after is not None
-            else float("nan")
-        )
-        rates = interruption_rate_study(interruptions, mtbf=mtbf)
-        profile = midplane_profile(events_final, job_log)
-        skew = midplane_skew(profile)
+            interarrivals = interarrival_study(events_filtered, events_final)
+            mtbf = (
+                interarrivals.after.weibull.mean
+                if interarrivals.after is not None
+                else float("nan")
+            )
+            rates = interruption_rate_study(interruptions, mtbf=mtbf)
+            profile = midplane_profile(events_final, job_log)
+            skew = midplane_skew(profile)
 
-        t_start, duration = _window(ras_log, job_log)
-        bursts = burst_study(interruptions, t_start, duration)
-        propagation = propagation_study(match.pairs, len(events_filtered))
-        vulnerability = vulnerability_study(job_log, interruptions, events_final)
+            t_start, duration = _window(ras_log, job_log)
+            bursts = burst_study(interruptions, t_start, duration)
+            propagation = propagation_study(match.pairs, len(events_filtered))
+            vulnerability = vulnerability_study(
+                job_log, interruptions, events_final
+            )
+            st.rows = interruptions.num_rows
 
         result = CoAnalysisResult(
             filter_stats=self.filters.stats,
@@ -183,7 +209,9 @@ class CoAnalysis:
             ),
         )
         if self.compute_observations_flag:
-            result.observations = compute_observations(result)
+            with timer.stage("observations"):
+                result.observations = compute_observations(result)
+        result.timings = timer.timings
         return result
 
 
@@ -193,13 +221,7 @@ def _first_job_per_event(pairs: Frame) -> Frame:
     if pairs.num_rows == 0:
         return pairs
     ordered = pairs.sort_by("event_time", "job_id")
-    seen: set[int] = set()
-    keep = np.zeros(ordered.num_rows, dtype=bool)
-    for i, eid in enumerate(ordered["event_id"]):
-        if int(eid) not in seen:
-            seen.add(int(eid))
-            keep[i] = True
-    return ordered.filter(keep)
+    return ordered.filter(first_occurrence_mask(ordered["event_id"]))
 
 
 def _window(ras_log: RasLog, job_log: JobLog) -> tuple[float, float]:
@@ -220,40 +242,59 @@ def _window(ras_log: RasLog, job_log: JobLog) -> tuple[float, float]:
 
 def _same_location_share(job_log: JobLog, interruptions: Frame) -> float:
     """Of jobs resubmitted after an interruption, the share landing on
-    the same partition (Obs. 3's 57.4%)."""
+    the same partition (Obs. 3's 57.4%).
+
+    Vectorized as a sorted merge: interruption ends and job starts are
+    interleaved per executable, and a running maximum carries the most
+    recent interruption forward to each later start — no per-job scan.
+    """
     if interruptions.num_rows == 0:
         return 0.0
-    interrupted = {
-        (r["executable"], float(r["job_end"])): r["job_location"]
-        for r in interruptions.to_rows()
-    }
-    interrupted_ends: dict[str, list[tuple[float, str]]] = {}
-    for (exe, end), loc in interrupted.items():
-        interrupted_ends.setdefault(exe, []).append((end, loc))
-    for lst in interrupted_ends.values():
-        lst.sort()
+    exe_i = interruptions["executable"]
+    end_i = interruptions["job_end"].astype(np.float64)
+    loc_i = interruptions["job_location"]
+    # one interruption per (executable, end): last row wins
+    codes, _ = factorize_many([exe_i, end_i])
+    keep_last = first_occurrence_mask(codes[::-1])[::-1]
+    exe_i, end_i, loc_i = exe_i[keep_last], end_i[keep_last], loc_i[keep_last]
 
-    jobs = job_log.frame.sort_by("start_time", "job_id")
-    same = total = 0
-    for exe, start, loc in zip(
-        jobs["executable"], jobs["start_time"], jobs["location"]
-    ):
-        history = interrupted_ends.get(exe)
-        if not history:
-            continue
-        # the most recent interruption of this executable before start
-        prev = None
-        for end, ploc in history:
-            if end <= start:
-                prev = (end, ploc)
-            else:
-                break
-        if prev is None:
-            continue
-        # count only prompt resubmissions (within a day) as retries
-        if start - prev[0] > 86400.0:
-            continue
-        total += 1
-        if loc == prev[1]:
-            same += 1
-    return same / total if total else 0.0
+    jobs = job_log.frame
+    exe_j = jobs["executable"]
+    start_j = jobs["start_time"]
+    loc_j = jobs["location"]
+    n_i, n_j = len(exe_i), len(exe_j)
+    if n_j == 0:
+        return 0.0
+
+    exe_codes, _ = factorize(np.concatenate([exe_i.astype(object), exe_j]))
+    key = exe_codes
+    times = np.concatenate([end_i, start_j])
+    # interruptions sort before starts at the same instant (end <= start
+    # counts as "before"), so flag 0 = interruption, 1 = job start
+    flag = np.concatenate(
+        [np.zeros(n_i, dtype=np.int64), np.ones(n_j, dtype=np.int64)]
+    )
+    order = np.lexsort((flag, times, key))
+    # forward-fill the merged position of the latest interruption seen;
+    # positions are monotone in merged order, so a running max is a fill
+    seq = np.arange(len(order), dtype=np.int64)
+    carrier = np.where(flag[order] == 0, seq, -1)
+    prev_pos = np.maximum.accumulate(carrier)
+
+    is_job = flag[order] == 1
+    job_pos = order[is_job] - n_i          # row into the job arrays
+    valid = prev_pos[is_job] >= 0
+    # merged position → row into the interruption arrays (interruptions
+    # occupy the first n_i concatenated slots); invalid rows pin to 0
+    prev_i = np.where(valid, order[np.where(valid, prev_pos[is_job], 0)], 0)
+    # the carried interruption must belong to the same executable
+    valid &= key[prev_i] == key[order[is_job]]
+    # count only prompt resubmissions (within a day) as retries
+    valid &= start_j[job_pos] - end_i[prev_i] <= 86400.0
+    total = int(valid.sum())
+    if not total:
+        return 0.0
+    same = int(
+        (loc_j[job_pos[valid]] == loc_i[prev_i[valid]]).sum()
+    )
+    return same / total

@@ -23,7 +23,17 @@ def render_report(result) -> str:
         _figure7(result),
         _observations_section(result),
     ]
+    if getattr(result, "timings", ()):
+        sections.append(_timings_section(result))
     return "\n\n".join(sections)
+
+
+def _timings_section(r) -> str:
+    """Top-level stage timings (sub-stages via ``--timings`` in the CLI)."""
+    from repro.perf import render_timings
+
+    top = [t for t in r.timings if "." not in t.stage]
+    return render_timings(top, title="Stage timings (perf)")
 
 
 def _header(r) -> str:

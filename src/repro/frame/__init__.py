@@ -14,6 +14,7 @@ from repro.frame.column import (
     as_column,
     factorize,
     factorize_many,
+    first_occurrence_mask,
     is_float_kind,
     is_integer_kind,
     is_string_kind,
@@ -29,6 +30,7 @@ __all__ = [
     "as_column",
     "factorize",
     "factorize_many",
+    "first_occurrence_mask",
     "is_float_kind",
     "is_integer_kind",
     "is_string_kind",

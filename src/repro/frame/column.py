@@ -68,6 +68,27 @@ def factorize(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return codes.astype(np.int64, copy=False), uniques
 
 
+def first_occurrence_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first occurrence of each distinct value,
+    in array order.
+
+    The vectorized replacement for ``seen``-set loops: one stable
+    argsort groups equal values, a shifted comparison finds group
+    starts, and scattering those positions back yields the mask.
+    """
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    codes, _ = factorize(values)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    firsts = np.ones(n, dtype=bool)
+    firsts[1:] = sorted_codes[1:] != sorted_codes[:-1]
+    mask = np.zeros(n, dtype=bool)
+    mask[order[firsts]] = True
+    return mask
+
+
 def factorize_many(arrays: Iterable[np.ndarray]) -> tuple[np.ndarray, int]:
     """Encode the row-tuples of several equal-length arrays as group codes.
 

@@ -106,17 +106,29 @@ class Frame:
             yield self.row(i)
 
     @classmethod
-    def from_rows(cls, rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None) -> "Frame":
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        columns: Sequence[str] | None = None,
+        dtypes: Mapping[str, Any] | None = None,
+    ) -> "Frame":
         """Build a frame from an iterable of row dicts.
 
         All rows must supply every column. *columns* pins the order (and is
-        required when *rows* is empty).
+        required when *rows* is empty). *dtypes* maps column names to the
+        dtype an **empty** frame should carry for that column — without it,
+        empty columns default to float64, which keeps numeric ops and
+        ``concat`` working (object-dtype empties poison both); string
+        columns of an empty frame need an explicit ``object`` hint.
         """
         rows = list(rows)
         if not rows:
             if columns is None:
                 return cls()
-            return cls({c: np.array([], dtype=object) for c in columns})
+            dtypes = dtypes or {}
+            return cls(
+                {c: np.array([], dtype=dtypes.get(c, np.float64)) for c in columns}
+            )
         names = list(columns) if columns is not None else list(rows[0])
         data = {name: [r[name] for r in rows] for name in names}
         return cls(data)
@@ -291,14 +303,10 @@ class Frame:
         keys = list(subset) if subset is not None else self.columns
         if not keys:
             return self
+        from repro.frame.column import first_occurrence_mask
+
         codes, _ = self.partition_codes(keys)
-        seen: set[int] = set()
-        keep = np.zeros(self.num_rows, dtype=bool)
-        for i, c in enumerate(codes):
-            if int(c) not in seen:
-                seen.add(int(c))
-                keep[i] = True
-        return self.filter(keep)
+        return self.filter(first_occurrence_mask(codes))
 
     def quantile(self, name: str, q: float) -> float:
         """The q-quantile of a numeric column (linear interpolation)."""
@@ -349,7 +357,15 @@ def concat(frames: Sequence[Frame]) -> Frame:
     out = Frame()
     for name in names:
         parts = [f.col(name) for f in frames]
-        if any(p.dtype.kind == "O" for p in parts):
+        # Zero-length parts must not dictate the result dtype: an empty
+        # placeholder column (object or float) would otherwise poison a
+        # numeric column or widen ints to float.
+        nonempty = [p for p in parts if len(p)]
+        decisive = nonempty if nonempty else parts
+        if any(p.dtype.kind == "O" for p in decisive):
             parts = [p.astype(object) for p in parts]
+        elif nonempty:
+            target = np.result_type(*[p.dtype for p in nonempty])
+            parts = [p if len(p) else p.astype(target) for p in parts]
         out._data[name] = np.concatenate(parts)
     return out

@@ -100,6 +100,13 @@ class GroupBy:
             raise ValueError(f"aggregation {aggname!r} needs a source column")
         values = self._frame.col(source)
         if aggname == "sum":
+            if values.dtype.kind in "biu":
+                # int sums stay int64; bincount weights would silently
+                # widen to float64 (and lose precision past 2**53).
+                if n == 0:
+                    return np.zeros(0, dtype=np.int64)
+                ordered = values[self._order].astype(np.int64, copy=False)
+                return np.add.reduceat(ordered, self._group_starts)
             return np.bincount(codes, weights=values.astype(np.float64), minlength=n)
         if aggname == "mean":
             sums = np.bincount(codes, weights=values.astype(np.float64), minlength=n)

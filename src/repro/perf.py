@@ -1,0 +1,127 @@
+"""Lightweight per-stage wall-clock accounting for the pipeline.
+
+Every hot path in the co-analysis (filtering, the event-job matching
+kernel, the downstream studies) can record how long each stage took and
+how many rows it produced, in the same spirit as
+:class:`repro.core.filtering.chain.FilterStats` counts records through
+the filter chain. The numbers surface in
+:meth:`repro.core.pipeline.CoAnalysisResult.report` and via
+``python -m repro --timings ...`` so perf regressions are visible
+without a profiler.
+
+Usage::
+
+    timer = StageTimer()
+    with timer.stage("match.join") as st:
+        pairs = build_pairs(...)
+        st.rows = pairs.num_rows
+    print(render_timings(timer.timings))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable, Iterator
+
+__all__ = ["StageTiming", "StageTimer", "render_timings"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One timed stage: wall seconds plus an optional row count."""
+
+    stage: str
+    wall_s: float
+    rows: int = -1
+
+    @property
+    def rows_per_s(self) -> float:
+        if self.rows < 0 or self.wall_s <= 0.0:
+            return float("nan")
+        return self.rows / self.wall_s
+
+
+class _StageHandle:
+    """Mutable cell the ``with timer.stage(...)`` body writes rows into."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: int = -1
+
+
+class StageTimer:
+    """Accumulates :class:`StageTiming` records in execution order."""
+
+    __slots__ = ("_timings",)
+
+    def __init__(self) -> None:
+        self._timings: list[StageTiming] = []
+
+    @property
+    def timings(self) -> tuple[StageTiming, ...]:
+        return tuple(self._timings)
+
+    def record(self, stage: str, wall_s: float, rows: int = -1) -> None:
+        self._timings.append(StageTiming(stage, wall_s, rows))
+
+    def extend(self, timings: Iterable[StageTiming]) -> None:
+        self._timings.extend(timings)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[_StageHandle]:
+        """Time the body; set ``handle.rows`` inside to record a count."""
+        handle = _StageHandle()
+        t0 = perf_counter()
+        try:
+            yield handle
+        finally:
+            self.record(name, perf_counter() - t0, handle.rows)
+
+    def total(self) -> float:
+        """Summed wall seconds without double-booking nested stages.
+
+        Sub-stages like ``match.join`` nest inside their parent stage's
+        wall time, so they only count when the parent was not itself
+        recorded (e.g. a timer holding just the ``match.*`` breakdown).
+        """
+        return _total(self._timings)
+
+
+def _total(timings: Iterable[StageTiming]) -> float:
+    """Wall seconds summed over stages whose parent is absent.
+
+    A dotted stage (``match.join``) nests inside its parent's wall time
+    (``match``); it contributes to the total only when no ancestor
+    appears in the same collection.
+    """
+    timings = list(timings)
+    names = {t.stage for t in timings}
+
+    def covered(name: str) -> bool:
+        while "." in name:
+            name = name.rsplit(".", 1)[0]
+            if name in names:
+                return True
+        return False
+
+    return sum(t.wall_s for t in timings if not covered(t.stage))
+
+
+def render_timings(
+    timings: Iterable[StageTiming], title: str = "stage timings"
+) -> str:
+    """An aligned text table of stage timings (report/CLI output)."""
+    timings = list(timings)
+    lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
+    lines.append(f"{'stage':<28} {'wall':>10} {'rows':>10} {'rows/s':>12}")
+    for t in timings:
+        rows = str(t.rows) if t.rows >= 0 else "-"
+        rate = f"{t.rows_per_s:,.0f}" if t.rows >= 0 and t.wall_s > 0 else "-"
+        lines.append(
+            f"{t.stage:<28} {1e3 * t.wall_s:>8.2f}ms {rows:>10} {rate:>12}"
+        )
+    lines.append(f"{'total':<28} {1e3 * _total(timings):>8.2f}ms")
+    return "\n".join(lines)

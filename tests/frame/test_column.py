@@ -118,3 +118,35 @@ class TestFactorizeMany:
         codes, n = factorize_many([a, b])
         # sorted tuples: (1,0) < (1,9) < (2,0)
         assert list(codes) == [2, 1, 0]
+
+
+class TestFirstOccurrenceMask:
+    def test_keeps_first_of_each_value(self):
+        from repro.frame.column import first_occurrence_mask
+
+        mask = first_occurrence_mask(np.array([3, 1, 3, 2, 1, 3]))
+        assert list(mask) == [True, True, False, True, False, False]
+
+    def test_object_values(self):
+        from repro.frame.column import first_occurrence_mask
+
+        mask = first_occurrence_mask(np.array(["b", "a", "b"], dtype=object))
+        assert list(mask) == [True, True, False]
+
+    def test_empty(self):
+        from repro.frame.column import first_occurrence_mask
+
+        assert list(first_occurrence_mask(np.array([]))) == []
+
+    def test_all_unique(self):
+        from repro.frame.column import first_occurrence_mask
+
+        assert first_occurrence_mask(np.arange(5)).all()
+
+    def test_keep_last_via_reversal(self):
+        from repro.frame.column import first_occurrence_mask
+
+        values = np.array([1, 2, 1, 2, 3])
+        keep_last = first_occurrence_mask(values[::-1])[::-1]
+        assert list(values[keep_last]) == [1, 2, 3]
+        assert list(np.flatnonzero(keep_last)) == [2, 3, 4]

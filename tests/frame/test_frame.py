@@ -197,3 +197,61 @@ class TestConcat:
 
     def test_concat_skips_empty_frames(self, jobs):
         assert concat([Frame(), jobs]).num_rows == 5
+
+
+class TestFromRowsDtypes:
+    def test_empty_with_dtype_hints(self):
+        f = Frame.from_rows(
+            [],
+            columns=["id", "name", "t"],
+            dtypes={"id": np.int64, "name": object, "t": np.float64},
+        )
+        assert f.num_rows == 0
+        assert f["id"].dtype == np.int64
+        assert f["name"].dtype == object
+        assert f["t"].dtype == np.float64
+
+    def test_empty_defaults_to_float64(self):
+        f = Frame.from_rows([], columns=["x", "y"])
+        assert f["x"].dtype == np.float64
+        assert f["y"].dtype == np.float64
+
+    def test_nonempty_rows_ignore_hints(self):
+        f = Frame.from_rows(
+            [{"id": 1}, {"id": 2}], columns=["id"], dtypes={"id": np.float64}
+        )
+        assert f["id"].dtype == np.int64
+
+    def test_empty_frame_concats_with_typed_frame(self):
+        empty = Frame.from_rows(
+            [], columns=["id", "name"], dtypes={"id": np.int64, "name": object}
+        )
+        full = Frame({"id": np.array([1, 2]), "name": ["a", "b"]})
+        both = concat([empty, full])
+        assert both.num_rows == 2
+        assert both["id"].dtype == np.int64
+        assert both["name"].dtype == object
+
+    def test_zero_length_part_does_not_poison_dtype(self):
+        # an untyped empty frame (float64 columns) must not drag an
+        # int64 column to float, nor an object column to something else
+        empty = Frame.from_rows([], columns=["id"])
+        full = Frame({"id": np.array([1, 2], dtype=np.int64)})
+        assert concat([empty, full])["id"].dtype == np.int64
+        assert concat([full, empty])["id"].dtype == np.int64
+
+
+class TestDistinct:
+    def test_distinct_keeps_first_occurrence(self):
+        f = Frame({"k": [1, 2, 1, 3, 2], "v": [10, 20, 30, 40, 50]})
+        out = f.distinct(["k"])
+        assert list(out["k"]) == [1, 2, 3]
+        assert list(out["v"]) == [10, 20, 40]
+
+    def test_distinct_all_columns_default(self):
+        f = Frame({"k": [1, 1, 1], "v": [2, 2, 3]})
+        assert f.distinct().num_rows == 2
+
+    def test_distinct_multi_key(self):
+        f = Frame({"a": ["x", "x", "y"], "b": [1, 1, 1]})
+        assert f.distinct(["a", "b"]).num_rows == 2

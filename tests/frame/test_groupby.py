@@ -106,3 +106,28 @@ class TestGroupsIteration:
         gb = f.groupby("k")
         assert gb.num_groups == 0
         assert gb.size().num_rows == 0
+
+
+class TestSumDtypes:
+    def test_int_sum_stays_int64(self):
+        f = Frame({"k": ["a", "a", "b"], "v": np.array([1, 2, 3], dtype=np.int64)})
+        out = f.groupby("k").agg(s=("v", "sum"))
+        assert out["s"].dtype == np.int64
+        assert list(out["s"]) == [3, 3]
+
+    def test_int_sum_exact_beyond_float53(self):
+        big = (1 << 53) + 1  # not representable as float64
+        f = Frame({"k": ["a", "a"], "v": np.array([big, 0], dtype=np.int64)})
+        out = f.groupby("k").agg(s=("v", "sum"))
+        assert int(out["s"][0]) == big
+
+    def test_bool_sum_counts(self):
+        f = Frame({"k": ["a", "a", "b"], "v": np.array([True, True, False])})
+        out = f.groupby("k").agg(s=("v", "sum"))
+        assert out["s"].dtype == np.int64
+        assert list(out["s"]) == [2, 0]
+
+    def test_float_sum_stays_float(self):
+        f = Frame({"k": ["a", "b"], "v": [1.5, 2.5]})
+        out = f.groupby("k").agg(s=("v", "sum"))
+        assert out["s"].dtype == np.float64

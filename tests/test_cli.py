@@ -23,6 +23,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_tolerance_default_is_papers(self):
+        from repro.core.matching import DEFAULT_TOLERANCE
+
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log"]
+        )
+        assert args.tolerance == DEFAULT_TOLERANCE == 60.0
+
+    def test_tolerance_override(self):
+        args = build_parser().parse_args(
+            ["demo", "--tolerance", "15"]
+        )
+        assert args.tolerance == 15.0
+
+    def test_negative_tolerance_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--tolerance=-5"])
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_timings_flag(self):
+        args = build_parser().parse_args(["--timings", "demo"])
+        assert args.timings is True
+        args = build_parser().parse_args(["demo"])
+        assert args.timings is False
+
 
 class TestEndToEnd:
     def test_simulate_then_analyze(self, tmp_path, capsys):
@@ -45,4 +70,22 @@ class TestEndToEnd:
     def test_demo(self, capsys):
         rc = main(["demo", "--scale", "0.01", "--seed", "5"])
         assert rc == 0
-        assert "Table IV" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        # the report always carries the top-level stage timing table
+        assert "Stage timings (perf)" in out
+        assert "Table IV" in out
+
+    def test_demo_with_timings(self, capsys):
+        rc = main(["--timings", "demo", "--scale", "0.01", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # --timings adds the full table with the match.* kernel breakdown
+        assert "stage timings (full)" in out
+        assert "match.join" in out
+
+    def test_demo_with_tolerance(self, capsys):
+        rc = main(
+            ["demo", "--scale", "0.01", "--seed", "5", "--tolerance", "15"]
+        )
+        assert rc == 0
+        assert "CO-ANALYSIS" in capsys.readouterr().out
