@@ -11,7 +11,15 @@ import numpy as np
 import pytest
 
 from repro.core.events import FatalEventTable
-from repro.core.filtering import SpatialFilter, TemporalFilter
+from repro.core.filtering import (
+    CausalityFilter,
+    FilterChain,
+    ReferenceCausalityFilter,
+    ReferenceSpatialFilter,
+    ReferenceTemporalFilter,
+    SpatialFilter,
+    TemporalFilter,
+)
 from repro.core.matching import InterruptionMatcher
 from repro.core.matching_reference import ReferenceInterruptionMatcher
 from repro.frame import Frame
@@ -57,6 +65,52 @@ def test_perf_temporal_filter_50k(benchmark, stream_50k):
 def test_perf_spatial_filter_50k(benchmark, stream_50k):
     out = benchmark(SpatialFilter(threshold=300.0).apply, stream_50k)
     assert 0 < len(out) <= len(stream_50k)
+
+
+def test_perf_causal_filter_50k(benchmark, stream_50k):
+    out = benchmark(CausalityFilter(window=120.0).apply, stream_50k)
+    assert 0 < len(out) <= len(stream_50k)
+
+
+# ----------------------------------------------------------------------
+# the filter-chain speedup gate (ISSUE 2 acceptance)
+
+
+@pytest.fixture(scope="module")
+def filter_10x():
+    """~10x the seed trace's raw FATAL volume (8,758 records at the
+    default simulation scale 0.25)."""
+    return make_stream(87_000, n_types=60, n_locations=80, seed=7)
+
+
+def test_filter_speedup_10x(filter_10x):
+    """The vectorized filter chain must beat the row-loop references
+    >= 5x at 10x scale while producing identical output (ISSUE 2)."""
+    ref_chain = FilterChain(
+        temporal=ReferenceTemporalFilter(threshold=300.0),
+        spatial=ReferenceSpatialFilter(threshold=300.0),
+        causal=ReferenceCausalityFilter(window=120.0),
+    )
+    vec_chain = FilterChain()
+
+    t0 = time.perf_counter()
+    ref = ref_chain.apply(filter_10x)
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vec = vec_chain.apply(filter_10x)
+    t_vec = time.perf_counter() - t0
+
+    for col in ref.frame.columns:
+        assert np.array_equal(ref.frame[col], vec.frame[col]), col
+    assert ref_chain.stats == vec_chain.stats
+    assert ref_chain.causal.rules == vec_chain.causal.rules
+
+    print(f"\nreference: {t_ref:.3f}s  vectorized: {t_vec:.3f}s  "
+          f"speedup: {t_ref / t_vec:.1f}x "
+          f"({ref_chain.stats.raw} -> {ref_chain.stats.after_causal} events)")
+    print(render_timings(vec_chain.timings, title="filter chain stage timings"))
+    assert t_ref / t_vec >= 5.0
 
 
 def test_perf_fatal_extraction(benchmark, trace):

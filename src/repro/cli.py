@@ -20,6 +20,12 @@ import time
 from pathlib import Path
 
 from repro.core import CoAnalysis, InterruptionMatcher
+from repro.core.filtering import (
+    CausalityFilter,
+    FilterChain,
+    SpatialFilter,
+    TemporalFilter,
+)
 from repro.core.matching import DEFAULT_TOLERANCE
 from repro.logs import read_job_log, read_ras_log, write_job_log, write_ras_log
 from repro.perf import render_timings
@@ -32,13 +38,26 @@ def _add_profile_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=2011)
 
 
-def _tolerance_seconds(text: str) -> float:
-    value = float(text)
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"tolerance must be non-negative, got {text}"
-        )
-    return value
+def _seconds_arg(name: str):
+    """An argparse type validating a non-negative seconds value."""
+
+    def parse(text: str) -> float:
+        value = float(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be non-negative, got {text}"
+            )
+        return value
+
+    return parse
+
+
+_tolerance_seconds = _seconds_arg("tolerance")
+
+#: the filters' constructor defaults, surfaced in --help
+_TEMPORAL_DEFAULT = TemporalFilter.threshold
+_SPATIAL_DEFAULT = SpatialFilter.threshold
+_CAUSAL_DEFAULT = CausalityFilter.window
 
 
 def _add_analysis_args(p: argparse.ArgumentParser) -> None:
@@ -47,11 +66,34 @@ def _add_analysis_args(p: argparse.ArgumentParser) -> None:
         help="event-job matching tolerance in seconds "
              f"(default {DEFAULT_TOLERANCE:.0f}, the paper's §IV value)",
     )
+    p.add_argument(
+        "--temporal-threshold", type=_seconds_arg("temporal threshold"),
+        default=_TEMPORAL_DEFAULT,
+        help="temporal filter chain-collapse threshold in seconds "
+             f"(default {_TEMPORAL_DEFAULT:.0f}; DESIGN §5 sweeps it)",
+    )
+    p.add_argument(
+        "--spatial-threshold", type=_seconds_arg("spatial threshold"),
+        default=_SPATIAL_DEFAULT,
+        help="spatial filter chain-collapse threshold in seconds "
+             f"(default {_SPATIAL_DEFAULT:.0f})",
+    )
+    p.add_argument(
+        "--causal-window", type=_seconds_arg("causal window"),
+        default=_CAUSAL_DEFAULT,
+        help="causality-rule mining window in seconds "
+             f"(default {_CAUSAL_DEFAULT:.0f})",
+    )
 
 
 def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
     analysis = CoAnalysis(
-        matcher=InterruptionMatcher(tolerance=args.tolerance)
+        filters=FilterChain(
+            temporal=TemporalFilter(threshold=args.temporal_threshold),
+            spatial=SpatialFilter(threshold=args.spatial_threshold),
+            causal=CausalityFilter(window=args.causal_window),
+        ),
+        matcher=InterruptionMatcher(tolerance=args.tolerance),
     )
     result = analysis.run(ras_log, job_log)
     print(result.report())

@@ -25,6 +25,9 @@ from repro.core.filtering import (
     CausalityFilter,
     FilterChain,
     JobRelatedFilter,
+    ReferenceCausalityFilter,
+    ReferenceSpatialFilter,
+    ReferenceTemporalFilter,
     SpatialFilter,
     TemporalFilter,
 )
@@ -46,6 +49,9 @@ __all__ = [
     "CausalityFilter",
     "JobRelatedFilter",
     "FilterChain",
+    "ReferenceTemporalFilter",
+    "ReferenceSpatialFilter",
+    "ReferenceCausalityFilter",
     "DEFAULT_TOLERANCE",
     "InterruptionMatcher",
     "ReferenceInterruptionMatcher",

@@ -8,6 +8,7 @@ from repro.core.events import FatalEventTable
 from repro.core.filtering.causal import CausalityFilter
 from repro.core.filtering.spatial import SpatialFilter
 from repro.core.filtering.temporal import TemporalFilter
+from repro.perf import StageTimer, StageTiming
 
 
 @dataclass(frozen=True)
@@ -38,12 +39,22 @@ class FilterChain:
     #: the post-temporal record table, kept for the matcher's
     #: cross-location attribution (shared-file-system propagation)
     temporal_table: FatalEventTable | None = None
+    #: per-stage wall/row counters of the last ``apply`` (``filter.*``
+    #: sub-stages; they nest under the pipeline's ``filter`` stage)
+    timings: tuple[StageTiming, ...] = ()
 
     def apply(self, events: FatalEventTable) -> FatalEventTable:
         raw = len(events)
-        t = self.temporal.apply(events)
-        s = self.spatial.apply(t)
-        c = self.causal.apply(s)
+        timer = StageTimer()
+        with timer.stage("filter.temporal") as st:
+            t = self.temporal.apply(events)
+            st.rows = len(t)
+        with timer.stage("filter.spatial") as st:
+            s = self.spatial.apply(t)
+            st.rows = len(s)
+        with timer.stage("filter.causal") as st:
+            c = self.causal.apply(s)
+            st.rows = len(c)
         self.stats = FilterStats(
             raw=raw,
             after_temporal=len(t),
@@ -51,4 +62,5 @@ class FilterChain:
             after_causal=len(c),
         )
         self.temporal_table = t
+        self.timings = timer.timings
         return c

@@ -1,0 +1,157 @@
+"""Row-at-a-time reference implementations of the three record filters.
+
+These are the pre-vectorization temporal/spatial/causality kernels, kept
+verbatim so the columnar kernels in
+:mod:`repro.core.filtering.temporal` / :mod:`~repro.core.filtering.spatial`
+/ :mod:`~repro.core.filtering.causal` can be golden-tested against an
+independent statement of the same chain-collapse and rule-mining
+semantics (`tests/core/test_filtering_golden.py` demands bit-identical
+output) — and so a future reader can see each algorithm stated plainly.
+
+The only behavioural delta from the original seed code is the shared
+correctness fix: thresholds/windows are validated non-negative at
+construction, exactly as the vectorized filters do.
+
+Do not optimize this module; its value is being obviously correct.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.events import FatalEventTable
+from repro.core.filtering.causal import CausalRule
+from repro.frame.column import factorize, factorize_many
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class ReferenceTemporalFilter:
+    """Chain-collapse duplicates at one location (row-at-a-time).
+
+    Same contract as :class:`repro.core.filtering.TemporalFilter`.
+    """
+
+    threshold: float = 300.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("threshold", self.threshold)
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        """Events surviving the filter (first of every chain)."""
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            return FatalEventTable(frame)
+        codes, _ = factorize_many([frame["errcode"], frame["location"]])
+        times = frame["event_time"]
+        keep = np.ones(n, dtype=bool)
+        # For each group, walk its chain: an event is dropped when it is
+        # within threshold of the previous event of the group — kept or
+        # dropped, because a dropped event still extends the suppression
+        # window (chain semantics, per the module docstring).
+        order = np.lexsort((times, codes))
+        last_time: dict[int, float] = {}
+        for idx in order:
+            g = codes[idx]
+            t = times[idx]
+            prev = last_time.get(g)
+            if prev is not None and t - prev <= self.threshold:
+                keep[idx] = False
+            last_time[g] = t
+        return FatalEventTable(frame.filter(keep))
+
+
+@dataclass(frozen=True)
+class ReferenceSpatialFilter:
+    """Chain-collapse duplicates of one type across locations
+    (row-at-a-time). Same contract as
+    :class:`repro.core.filtering.SpatialFilter`."""
+
+    threshold: float = 300.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("threshold", self.threshold)
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            return FatalEventTable(frame)
+        codes, _ = factorize(frame["errcode"])
+        times = frame["event_time"]
+        keep = np.ones(n, dtype=bool)
+        last_time: dict[int, float] = {}
+        order = np.lexsort((times, codes))
+        for idx in order:
+            g = codes[idx]
+            t = times[idx]
+            prev = last_time.get(g)
+            if prev is not None and t - prev <= self.threshold:
+                keep[idx] = False
+            last_time[g] = t
+        return FatalEventTable(frame.filter(keep))
+
+
+@dataclass
+class ReferenceCausalityFilter:
+    """Mines co-occurrence rules, then filters follower events
+    (row-at-a-time). Same contract as
+    :class:`repro.core.filtering.CausalityFilter`."""
+
+    window: float = 120.0
+    min_support: int = 3
+    min_confidence: float = 0.5
+    rules: list[CausalRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        _check_non_negative("window", self.window)
+
+    def apply(self, events: FatalEventTable) -> FatalEventTable:
+        """Learn rules on *events* and drop follower occurrences."""
+        frame = events.frame.sort_by("event_time", "event_id")
+        n = frame.num_rows
+        if n == 0:
+            self.rules = []
+            return FatalEventTable(frame)
+        times = frame["event_time"]
+        types = frame["errcode"]
+
+        pair_counts: Counter[tuple[str, str]] = Counter()
+        type_counts: Counter[str] = Counter()
+        preceded_by: list[set[str]] = []
+        start = 0
+        for j in range(n):
+            t, b = times[j], types[j]
+            type_counts[b] += 1
+            while times[start] < t - self.window:
+                start += 1
+            preceding = {
+                types[i] for i in range(start, j) if types[i] != b
+            }
+            preceded_by.append(preceding)
+            for a in preceding:
+                pair_counts[(a, b)] += 1
+
+        self.rules = [
+            CausalRule(a, b, c, c / type_counts[b])
+            for (a, b), c in sorted(pair_counts.items())
+            if c >= self.min_support and c / type_counts[b] >= self.min_confidence
+        ]
+        followers: dict[str, set[str]] = defaultdict(set)
+        for r in self.rules:
+            followers[r.follower].add(r.trigger)
+
+        keep = np.ones(n, dtype=bool)
+        for j in range(n):
+            trig = followers.get(types[j])
+            if trig and preceded_by[j] & trig:
+                keep[j] = False
+        return FatalEventTable(frame.filter(keep))

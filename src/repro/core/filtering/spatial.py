@@ -4,16 +4,19 @@ Removes the same ERRCODE reported from *different* locations within a
 threshold — the fan-out a parallel job produces when every allocated
 node reports the same fault (§VI-C). Chain semantics over the type's
 time-ordered stream, location-agnostic.
+
+Columnar kernel: identical shape to the temporal filter's, with the
+group key reduced to the errcode alone — one ``lexsort`` plus a
+segment-boundary chain collapse (:func:`repro.frame.column.chain_collapse_mask`).
+Row-at-a-time original in :mod:`repro.core.filtering.reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.events import FatalEventTable
-from repro.frame.column import factorize
+from repro.frame.column import chain_collapse_mask, factorize
 
 
 @dataclass(frozen=True)
@@ -22,21 +25,16 @@ class SpatialFilter:
 
     threshold: float = 300.0
 
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(
+                f"threshold must be non-negative, got {self.threshold}"
+            )
+
     def apply(self, events: FatalEventTable) -> FatalEventTable:
         frame = events.frame.sort_by("event_time", "event_id")
-        n = frame.num_rows
-        if n == 0:
+        if frame.num_rows == 0:
             return FatalEventTable(frame)
         codes, _ = factorize(frame["errcode"])
-        times = frame["event_time"]
-        keep = np.ones(n, dtype=bool)
-        last_time: dict[int, float] = {}
-        order = np.lexsort((times, codes))
-        for idx in order:
-            g = codes[idx]
-            t = times[idx]
-            prev = last_time.get(g)
-            if prev is not None and t - prev <= self.threshold:
-                keep[idx] = False
-            last_time[g] = t
+        keep = chain_collapse_mask(codes, frame["event_time"], self.threshold)
         return FatalEventTable(frame.filter(keep))

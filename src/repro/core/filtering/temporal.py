@@ -4,16 +4,21 @@ Removes repeated reports of the same ERRCODE from the same LOCATION:
 within a (errcode, location) stream, any event closer than ``threshold``
 seconds to its predecessor is redundant, chain-wise — the classic
 constant-threshold temporal filter of Liang et al.
+
+This module holds the **columnar kernel**: one grouped ``lexsort`` over
+(errcode × location) codes and event times, then a shifted
+segment-boundary comparison (:func:`repro.frame.column.chain_collapse_mask`)
+marks chain starts for every group at once. The row-at-a-time original
+is kept in :mod:`repro.core.filtering.reference` and golden-tested for
+bit-identical output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.events import FatalEventTable
-from repro.frame.column import factorize_many
+from repro.frame.column import chain_collapse_mask, factorize
 
 
 @dataclass(frozen=True)
@@ -22,28 +27,28 @@ class TemporalFilter:
 
     threshold: float = 300.0
 
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError(
+                f"threshold must be non-negative, got {self.threshold}"
+            )
+
     def apply(self, events: FatalEventTable) -> FatalEventTable:
-        """Events surviving the filter (first of every chain)."""
+        """Events surviving the filter (first of every chain).
+
+        An event is dropped when it is within ``threshold`` (inclusive)
+        of the previous event of its (errcode, location) group — kept
+        *or dropped*: a dropped event still extends the suppression
+        window (chain semantics).
+        """
         frame = events.frame.sort_by("event_time", "event_id")
-        n = frame.num_rows
-        if n == 0:
+        if frame.num_rows == 0:
             return FatalEventTable(frame)
-        codes, _ = factorize_many([frame["errcode"], frame["location"]])
-        times = frame["event_time"]
-        keep = np.ones(n, dtype=bool)
-        # For each group, walk its chain: an event is dropped when it is
-        # within threshold of the previous *kept* event of the group.
-        order = np.lexsort((times, codes))
-        last_kept_time: dict[int, float] = {}
-        for idx in order:
-            g = codes[idx]
-            t = times[idx]
-            prev = last_kept_time.get(g)
-            if prev is not None and t - prev <= self.threshold:
-                keep[idx] = False
-                # chain semantics: the *dropped* event still extends the
-                # suppression window
-                last_kept_time[g] = t
-            else:
-                last_kept_time[g] = t
+        # the mask only needs codes that *distinguish* (errcode, location)
+        # groups, so combine per-column codes directly — no dense
+        # re-factorization of the composite key
+        code_a, _ = factorize(frame["errcode"])
+        code_b, uniq_b = factorize(frame["location"])
+        codes = code_a * max(len(uniq_b), 1) + code_b
+        keep = chain_collapse_mask(codes, frame["event_time"], self.threshold)
         return FatalEventTable(frame.filter(keep))

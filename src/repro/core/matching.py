@@ -25,7 +25,11 @@ import numpy as np
 
 from repro.core.events import FatalEventTable
 from repro.frame import Frame
-from repro.frame.column import factorize, first_occurrence_mask
+from repro.frame.column import (
+    factorize,
+    first_occurrence_mask,
+    segmented_arange as _segmented_arange,
+)
 from repro.logs.job import JobLog
 from repro.machine.partition import parse_partition
 from repro.machine.topology import NUM_MIDPLANES
@@ -200,16 +204,6 @@ class InterruptionMatcher:
 
 # ----------------------------------------------------------------------
 # kernel stages
-
-
-def _segmented_arange(counts: np.ndarray) -> np.ndarray:
-    """``[0..c0), [0..c1), ...`` — offsets within variable-size segments."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    starts = np.cumsum(counts) - counts
-    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
 
 
 class _JobMidplaneIndex:

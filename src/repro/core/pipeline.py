@@ -67,8 +67,9 @@ class CoAnalysisResult:
 
     observations: list[Observation] = field(default_factory=list)
 
-    #: per-stage wall/row counters (pipeline stages plus the matching
-    #: kernel's ``match.*`` sub-stages), in execution order
+    #: per-stage wall/row counters (pipeline stages plus the
+    #: ``filter.*`` chain and ``match.*`` kernel sub-stages), in
+    #: execution order
     timings: tuple[StageTiming, ...] = ()
 
     # ------------------------------------------------------------------
@@ -129,6 +130,7 @@ class CoAnalysis:
             events_filtered = self.filters.apply(events_raw)
             st.rows = len(events_filtered)
         assert self.filters.stats is not None
+        timer.extend(self.filters.timings)
 
         with timer.stage("match") as st:
             match = self.matcher.match(

@@ -29,7 +29,8 @@ def render_report(result) -> str:
 
 
 def _timings_section(r) -> str:
-    """Top-level stage timings (sub-stages via ``--timings`` in the CLI)."""
+    """Top-level stage timings; the ``filter.*`` / ``match.*`` sub-stage
+    breakdown is printed by ``--timings`` in the CLI."""
     from repro.perf import render_timings
 
     top = [t for t in r.timings if "." not in t.stage]

@@ -246,20 +246,25 @@ class Frame:
         on: str | Sequence[str],
         how: str = "inner",
         suffix: str = "_right",
+        indicator: str | None = None,
     ) -> "Frame":
         """Equi-join with *other* on shared key columns.
 
         ``how`` is ``"inner"`` or ``"left"``. Non-key columns colliding
         between the two sides get *suffix* appended on the right side.
-        Left joins fill unmatched numeric columns with the column dtype's
-        NaN (floats) / minimum sentinel (ints are upcast to float with NaN)
-        and string columns with ``""``.
+        Left joins fill unmatched right-side columns with typed values:
+        NaN for floats (ints are upcast to float with NaN), ``False``
+        for bools, ``""`` for strings. *indicator* names an extra bool
+        column marking unmatched fill rows — the null mask a False/""
+        fill would otherwise hide.
         """
         from repro.frame.join import join as _join
 
         if isinstance(on, str):
             on = [on]
-        return _join(self, other, list(on), how=how, suffix=suffix)
+        return _join(
+            self, other, list(on), how=how, suffix=suffix, indicator=indicator
+        )
 
     def partition_codes(self, keys: Sequence[str]) -> tuple[np.ndarray, int]:
         """Dense group codes for the row-tuples of the key columns."""

@@ -16,19 +16,30 @@ def join(
     on: Sequence[str],
     how: str = "inner",
     suffix: str = "_right",
+    indicator: str | None = None,
 ) -> Frame:
     """Join *left* and *right* on equal values of the *on* columns.
 
     Produces one output row per matching (left row, right row) pair,
     ordered by left row index then right row index. ``how="left"`` keeps
-    unmatched left rows, filling right-side numeric columns with NaN
-    (integers are upcast to float) and string columns with ``""``.
+    unmatched left rows with typed fills on the right-side columns:
+    floats get NaN, ints are upcast to float with NaN, **bools stay bool
+    and fill with False**, and strings fill with ``""``. Because a False
+    fill is indistinguishable from a genuine False, *indicator* names an
+    extra bool column marking the unmatched fill rows (the null mask);
+    it is all-False for an inner join.
     """
     if how not in ("inner", "left"):
         raise ValueError(f"unsupported join type {how!r}")
     for k in on:
         if k not in left or k not in right:
             raise KeyError(f"join key {k!r} missing from one side")
+    if indicator is not None and (
+        indicator in left.columns or indicator in right.columns
+    ):
+        raise ValueError(
+            f"indicator column {indicator!r} collides with an input column"
+        )
 
     nl, nr = left.num_rows, right.num_rows
     # Factorize the stacked key columns so both sides share codes.
@@ -56,7 +67,7 @@ def join(
         r_idx = np.concatenate(
             [r_order[s:e] for s, e in zip(starts[matched], ends[matched])]
         ) if matched.any() else np.zeros(0, dtype=np.int64)
-        return _assemble(left, right, on, suffix, l_idx, r_idx, None)
+        return _assemble(left, right, on, suffix, l_idx, r_idx, None, indicator)
 
     # left join: unmatched rows contribute one output row with fill values
     out_counts = np.where(matched, counts, 1)
@@ -73,7 +84,18 @@ def join(
     null_mask = (
         np.concatenate(null_mask_parts) if null_mask_parts else np.zeros(0, dtype=bool)
     )
-    return _assemble(left, right, on, suffix, l_idx, r_idx, null_mask)
+    return _assemble(left, right, on, suffix, l_idx, r_idx, null_mask, indicator)
+
+
+def _fill_value(col: np.ndarray):
+    """The typed fill an unmatched right-side column takes: strings get
+    ``""``, bools stay bool with False, everything numeric becomes NaN
+    (ints upcast to float — they have no NaN of their own)."""
+    if is_string_kind(col):
+        return ""
+    if col.dtype.kind == "b":
+        return False
+    return np.nan
 
 
 def _assemble(
@@ -84,6 +106,7 @@ def _assemble(
     l_idx: np.ndarray,
     r_idx: np.ndarray,
     null_mask: np.ndarray | None,
+    indicator: str | None,
 ) -> Frame:
     data: dict[str, np.ndarray] = {}
     for name in left.columns:
@@ -93,10 +116,13 @@ def _assemble(
             continue
         out_name = name + suffix if name in data else name
         col = right.col(name)
+        fill = _fill_value(col)
         if len(col) == 0 and len(r_idx):
             # Right side empty: every output row is an unmatched fill row.
             if is_string_kind(col):
-                taken = np.array([""] * len(r_idx), dtype=object)
+                taken = np.array([fill] * len(r_idx), dtype=object)
+            elif col.dtype.kind == "b":
+                taken = np.zeros(len(r_idx), dtype=bool)
             else:
                 taken = np.full(len(r_idx), np.nan)
             data[out_name] = taken
@@ -108,11 +134,18 @@ def _assemble(
         if null_mask is not None and null_mask.any():
             if is_string_kind(col):
                 taken = taken.astype(object)
-                taken[null_mask] = ""
+            elif col.dtype.kind == "b":
+                taken = taken.copy()
             else:
                 taken = taken.astype(np.float64)
-                taken[null_mask] = np.nan
+            taken[null_mask] = fill
         data[out_name] = taken
+    if indicator is not None:
+        data[indicator] = (
+            null_mask.copy()
+            if null_mask is not None
+            else np.zeros(len(l_idx), dtype=bool)
+        )
     out = Frame()
     out._data = data  # type: ignore[attr-defined]
     return out

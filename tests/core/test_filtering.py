@@ -6,6 +6,9 @@ from repro.core.events import fatal_event_table
 from repro.core.filtering import (
     CausalityFilter,
     FilterChain,
+    ReferenceCausalityFilter,
+    ReferenceSpatialFilter,
+    ReferenceTemporalFilter,
     SpatialFilter,
     TemporalFilter,
 )
@@ -35,6 +38,21 @@ class TestTemporalFilter:
         rows = [(i, "A", "FATAL", i * 250.0, "R00-M0") for i in range(10)]
         out = TemporalFilter(threshold=300.0).apply(table(rows))
         assert len(out) == 1
+
+    @pytest.mark.parametrize("make", [TemporalFilter, ReferenceTemporalFilter])
+    def test_dropped_events_extend_suppression_window(self, make):
+        """Regression for the mislabeled chain semantics: N events each
+        threshold−ε apart collapse to exactly 1, because every *dropped*
+        event still extends the suppression window — the filter does NOT
+        measure from the previous kept event (that would keep every
+        second one)."""
+        eps = 1.0
+        rows = [
+            (i, "A", "FATAL", i * (300.0 - eps), "R00-M0") for i in range(20)
+        ]
+        out = make(threshold=300.0).apply(table(rows))
+        assert len(out) == 1
+        assert out.frame["event_id"][0] == 0
 
     def test_different_locations_not_collapsed(self):
         t = table(
@@ -137,6 +155,112 @@ class TestCausalityFilter:
         assert not any(r.follower == "TORUS" for r in f.rules)
 
 
+class TestWindowBoundaryInclusivity:
+    """Events exactly ``threshold`` / ``window`` apart sit *inside* the
+    inclusive window — pinned on kernels and references alike so a
+    vectorization can never silently flip a ``<=`` into a ``<``."""
+
+    @pytest.mark.parametrize("make", [TemporalFilter, ReferenceTemporalFilter])
+    def test_temporal_exact_threshold_suppresses(self, make):
+        t = table(
+            [
+                (1, "A", "FATAL", 0.0, "R00-M0"),
+                (2, "A", "FATAL", 300.0, "R00-M0"),
+            ]
+        )
+        assert len(make(threshold=300.0).apply(t)) == 1
+
+    @pytest.mark.parametrize("make", [TemporalFilter, ReferenceTemporalFilter])
+    def test_temporal_just_past_threshold_splits(self, make):
+        t = table(
+            [
+                (1, "A", "FATAL", 0.0, "R00-M0"),
+                (2, "A", "FATAL", 300.0001, "R00-M0"),
+            ]
+        )
+        assert len(make(threshold=300.0).apply(t)) == 2
+
+    @pytest.mark.parametrize("make", [SpatialFilter, ReferenceSpatialFilter])
+    def test_spatial_exact_threshold_suppresses(self, make):
+        t = table(
+            [
+                (1, "A", "FATAL", 0.0, "R00-M0"),
+                (2, "A", "FATAL", 300.0, "R17-M1"),
+            ]
+        )
+        assert len(make(threshold=300.0).apply(t)) == 1
+
+    @pytest.mark.parametrize("make", [SpatialFilter, ReferenceSpatialFilter])
+    def test_spatial_just_past_threshold_splits(self, make):
+        t = table(
+            [
+                (1, "A", "FATAL", 0.0, "R00-M0"),
+                (2, "A", "FATAL", 300.0001, "R17-M1"),
+            ]
+        )
+        assert len(make(threshold=300.0).apply(t)) == 2
+
+    @pytest.mark.parametrize(
+        "make", [CausalityFilter, ReferenceCausalityFilter]
+    )
+    def test_causal_trigger_exactly_window_back_counts(self, make):
+        """A trigger exactly ``window`` seconds before the follower is
+        inside the mining window: rules form and followers drop."""
+        rows = []
+        for k in range(4):
+            base = k * 10000.0
+            rows.append((2 * k, "PANIC", "FATAL", base, "R00-M0"))
+            rows.append((2 * k + 1, "TORUS", "FATAL", base + 120.0, "R00-M1"))
+        f = make(window=120.0, min_support=3, min_confidence=0.5)
+        out = f.apply(table(rows))
+        assert set(out.frame["errcode"]) == {"PANIC"}
+        assert any(
+            r.trigger == "PANIC" and r.follower == "TORUS" for r in f.rules
+        )
+
+    @pytest.mark.parametrize(
+        "make", [CausalityFilter, ReferenceCausalityFilter]
+    )
+    def test_causal_trigger_just_outside_window_ignored(self, make):
+        rows = []
+        for k in range(4):
+            base = k * 10000.0
+            rows.append((2 * k, "PANIC", "FATAL", base, "R00-M0"))
+            rows.append(
+                (2 * k + 1, "TORUS", "FATAL", base + 120.0001, "R00-M1")
+            )
+        f = make(window=120.0, min_support=3, min_confidence=0.5)
+        out = f.apply(table(rows))
+        assert len(out) == 8
+        assert f.rules == []
+
+
+class TestThresholdValidation:
+    @pytest.mark.parametrize("make", [TemporalFilter, ReferenceTemporalFilter,
+                                      SpatialFilter, ReferenceSpatialFilter])
+    def test_negative_threshold_rejected(self, make):
+        with pytest.raises(ValueError, match="non-negative"):
+            make(threshold=-1.0)
+
+    @pytest.mark.parametrize(
+        "make", [CausalityFilter, ReferenceCausalityFilter]
+    )
+    def test_negative_window_rejected(self, make):
+        with pytest.raises(ValueError, match="non-negative"):
+            make(window=-0.5)
+
+    def test_zero_threshold_allowed(self):
+        t = table(
+            [
+                (1, "A", "FATAL", 0.0, "R00-M0"),
+                (2, "A", "FATAL", 0.0, "R00-M0"),
+                (3, "A", "FATAL", 5.0, "R00-M0"),
+            ]
+        )
+        # zero threshold still collapses exact-duplicate timestamps
+        assert len(TemporalFilter(threshold=0.0).apply(t)) == 2
+
+
 class TestFilterChain:
     def test_stats_recorded(self):
         rows = [
@@ -160,3 +284,11 @@ class TestFilterChain:
         out = chain.apply(table([]))
         assert len(out) == 0
         assert chain.stats.compression_ratio == 0.0
+
+    def test_stage_timings_recorded(self):
+        chain = FilterChain()
+        chain.apply(table([(1, "A", "FATAL", 0.0, "R00-M0")]))
+        stages = [t.stage for t in chain.timings]
+        assert stages == ["filter.temporal", "filter.spatial", "filter.causal"]
+        assert all(t.rows == 1 for t in chain.timings)
+        assert all(t.wall_s >= 0.0 for t in chain.timings)

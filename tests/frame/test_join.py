@@ -101,3 +101,73 @@ class TestLeftJoin:
         out = jobs.join(empty, on="location", how="left")
         assert out.num_rows == 4
         assert np.isnan(out["x"]).all()
+
+
+class TestLeftJoinTypedFills:
+    """Unmatched right-side columns take typed fills: bool stays bool
+    (False), int upcasts to float NaN, float gets NaN, str gets ""."""
+
+    @pytest.fixture
+    def right(self):
+        return Frame(
+            {
+                "location": ["R00-M0", "R00-M1"],
+                "flag": np.array([True, True]),
+                "count": np.array([7, 8], dtype=np.int64),
+                "score": np.array([0.5, 1.5]),
+                "label": ["x", "y"],
+            }
+        )
+
+    @pytest.fixture
+    def out(self, jobs, right):
+        return jobs.join(right, on="location", how="left")
+
+    def test_bool_fill_keeps_dtype(self, out):
+        assert out["flag"].dtype == np.dtype(bool)
+        unmatched = out.filter(out.mask_eq("job_id", 3))
+        assert unmatched["flag"][0] == False  # noqa: E712 — dtype matters
+        matched = out.filter(out.mask_eq("job_id", 1))
+        assert matched["flag"][0] == True  # noqa: E712
+
+    def test_int_fill_upcasts_to_float_nan(self, out):
+        assert out["count"].dtype == np.float64
+        assert np.isnan(out.filter(out.mask_eq("job_id", 3))["count"][0])
+        assert out.filter(out.mask_eq("job_id", 2))["count"][0] == 8.0
+
+    def test_float_fill_nan(self, out):
+        assert np.isnan(out.filter(out.mask_eq("job_id", 3))["score"][0])
+
+    def test_str_fill_empty(self, out):
+        assert out.filter(out.mask_eq("job_id", 3))["label"][0] == ""
+
+    def test_indicator_marks_fill_rows(self, jobs, right):
+        out = jobs.join(
+            right, on="location", how="left", indicator="_unmatched"
+        )
+        assert out["_unmatched"].dtype == np.dtype(bool)
+        # job 3 (R01-M0) is the only unmatched left row
+        assert list(out["job_id"][out["_unmatched"]]) == [3]
+        # a False bool fill is distinguishable from a genuine False
+        genuine = out.filter(~out["_unmatched"])
+        assert genuine["flag"].all()
+
+    def test_indicator_all_false_on_inner(self, jobs, right):
+        out = jobs.join(right, on="location", indicator="_unmatched")
+        assert not out["_unmatched"].any()
+
+    def test_indicator_collision_rejected(self, jobs, right):
+        with pytest.raises(ValueError, match="collides"):
+            jobs.join(right, on="location", how="left", indicator="flag")
+
+    def test_bool_fill_on_empty_right(self, jobs):
+        empty = Frame(
+            {
+                "location": np.array([], dtype=object),
+                "ok": np.array([], dtype=bool),
+            }
+        )
+        out = jobs.join(empty, on="location", how="left", indicator="_null")
+        assert out["ok"].dtype == np.dtype(bool)
+        assert not out["ok"].any()
+        assert out["_null"].all()

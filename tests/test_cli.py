@@ -48,6 +48,33 @@ class TestParser:
         args = build_parser().parse_args(["demo"])
         assert args.timings is False
 
+    def test_filter_threshold_defaults_match_constructors(self):
+        from repro.core.filtering import CausalityFilter, TemporalFilter
+
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log"]
+        )
+        assert args.temporal_threshold == TemporalFilter.threshold == 300.0
+        assert args.spatial_threshold == 300.0
+        assert args.causal_window == CausalityFilter.window == 120.0
+
+    def test_filter_threshold_overrides(self):
+        args = build_parser().parse_args(
+            ["demo", "--temporal-threshold", "60",
+             "--spatial-threshold", "45", "--causal-window", "240"]
+        )
+        assert args.temporal_threshold == 60.0
+        assert args.spatial_threshold == 45.0
+        assert args.causal_window == 240.0
+
+    @pytest.mark.parametrize("flag", [
+        "--temporal-threshold", "--spatial-threshold", "--causal-window",
+    ])
+    def test_negative_filter_thresholds_rejected(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", f"{flag}=-10"])
+        assert "non-negative" in capsys.readouterr().err
+
 
 class TestEndToEnd:
     def test_simulate_then_analyze(self, tmp_path, capsys):
@@ -79,9 +106,22 @@ class TestEndToEnd:
         rc = main(["--timings", "demo", "--scale", "0.01", "--seed", "5"])
         assert rc == 0
         out = capsys.readouterr().out
-        # --timings adds the full table with the match.* kernel breakdown
+        # --timings adds the full table with the filter.* chain and
+        # match.* kernel breakdowns
         assert "stage timings (full)" in out
         assert "match.join" in out
+        assert "filter.temporal" in out
+        assert "filter.spatial" in out
+        assert "filter.causal" in out
+
+    def test_demo_with_filter_thresholds(self, capsys):
+        rc = main(
+            ["demo", "--scale", "0.01", "--seed", "5",
+             "--temporal-threshold", "60", "--spatial-threshold", "60",
+             "--causal-window", "30"]
+        )
+        assert rc == 0
+        assert "CO-ANALYSIS" in capsys.readouterr().out
 
     def test_demo_with_tolerance(self, capsys):
         rc = main(
