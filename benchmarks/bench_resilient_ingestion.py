@@ -1,0 +1,78 @@
+"""Performance: resilient ingestion overhead and corruptor throughput.
+
+Not a paper artifact — engineering hygiene for the robustness layer.
+Measures what policy-driven validation costs over the legacy fast path
+on a clean log, how quarantine-mode parsing scales on a damaged log,
+and how fast the seeded corruptor runs; plus the fuzz invariant at
+benchmark scale (clean-row recovery is bit-identical and report counts
+equal ground truth).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.corruption import RAS_DEFECT_CLASSES, LogCorruptor
+from repro.logs import read_ras_log, write_ras_log
+
+from benchmarks.conftest import banner
+
+
+@pytest.fixture(scope="module")
+def ras_file(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("resilience") / "ras.log"
+    write_ras_log(trace.ras_log, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def corrupted(ras_file, tmp_path_factory):
+    out = tmp_path_factory.mktemp("resilience") / "ras_bad.log"
+    result = LogCorruptor(seed=3, rate=0.08).corrupt_file(ras_file, out)
+    return out, result
+
+
+def test_perf_read_legacy_fast_path(benchmark, ras_file):
+    log = benchmark(read_ras_log, ras_file)
+    assert len(log) > 0
+
+
+def test_perf_read_strict_validating(benchmark, ras_file):
+    log = benchmark(read_ras_log, ras_file, policy="strict")
+    assert len(log) > 0
+
+
+def test_perf_read_quarantine_clean(benchmark, ras_file):
+    log = benchmark(read_ras_log, ras_file, policy="quarantine")
+    assert log.quarantine.bad_rows == 0
+
+
+def test_perf_read_quarantine_damaged(benchmark, corrupted):
+    path, result = corrupted
+    log = benchmark(read_ras_log, path, policy="quarantine")
+    assert log.quarantine.bad_rows == result.num_injected
+
+
+def test_perf_corruptor(benchmark, ras_file):
+    text = ras_file.read_text()
+    result = benchmark(LogCorruptor(seed=3, rate=0.08).corrupt_text, text)
+    assert result.num_injected > 0
+
+
+def test_fuzz_invariant_at_bench_scale(ras_file, corrupted):
+    """The headline gate on the full benchmark trace."""
+    banner("resilient ingestion: fuzz invariant")
+    path, result = corrupted
+    clean = read_ras_log(ras_file)
+    damaged = read_ras_log(path, policy="quarantine")
+    assert set(result.ground_truth) == set(RAS_DEFECT_CLASSES)
+    assert damaged.quarantine.counts == result.ground_truth
+    mask = result.clean_row_mask()
+    assert len(damaged) == int(mask.sum())
+    for col in clean.frame.columns:
+        assert np.array_equal(clean.frame[col][mask], damaged.frame[col]), col
+    print(
+        f"{result.num_source_rows} rows, {result.num_injected} injected"
+        f" over {len(result.ground_truth)} classes;"
+        f" {len(damaged)} clean rows recovered bit-identical"
+    )
+    print(damaged.quarantine.render("RAS"))

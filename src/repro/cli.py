@@ -1,15 +1,21 @@
-"""Command-line interface: simulate traces and analyze logs.
+"""Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Three subcommands::
+Four subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
-    repro-coanalysis analyze --ras traces/ras.log --job traces/job.log
+    repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
+    repro-coanalysis analyze --ras traces/ras.log --job traces/job.log \
+        [--on-bad-record {strict,quarantine,skip}] [--max-bad-records N]
     repro-coanalysis demo [--scale 0.1]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
-Table II / Table III field layout; ``analyze`` runs the full §IV–§VI
-co-analysis on any pair of logs in that format (including real ones);
-``demo`` does both in memory and prints the report.
+Table II / Table III field layout; ``corrupt`` injects the cataloged
+defect taxonomy into a written log (resilience drills and the CI smoke
+test); ``analyze`` runs the full §IV–§VI co-analysis on any pair of
+logs in that format (including real, dirty ones — see
+``--on-bad-record``); ``demo`` does both in memory and prints the
+report. ``analyze`` exits with status 2 when ingestion rejects or
+aborts on a damaged log.
 """
 
 from __future__ import annotations
@@ -27,7 +33,16 @@ from repro.core.filtering import (
     TemporalFilter,
 )
 from repro.core.matching import DEFAULT_TOLERANCE
-from repro.logs import read_job_log, read_ras_log, write_job_log, write_ras_log
+from repro.logs import (
+    IngestAbortError,
+    IngestError,
+    IngestPolicy,
+    read_job_log,
+    read_ras_log,
+    write_job_log,
+    write_ras_log,
+)
+from repro.logs.quarantine import INGEST_MODES
 from repro.perf import render_timings
 from repro.simulate import CalibrationProfile, IntrepidSimulation
 
@@ -86,6 +101,53 @@ def _add_analysis_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _fraction_arg(text: str) -> float:
+    value = float(text)
+    if not (0.0 <= value <= 1.0):
+        raise argparse.ArgumentTypeError(
+            f"bad fraction must be within [0, 1], got {text}"
+        )
+    return value
+
+
+def _nonneg_int_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"max bad records must be non-negative, got {text}"
+        )
+    return value
+
+
+def _add_ingest_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--on-bad-record", choices=INGEST_MODES, default="strict",
+        help="bad-record policy: strict raises on the first defect "
+             "(default), quarantine diverts bad lines into a bounded "
+             "report, skip drops them keeping counts only",
+    )
+    p.add_argument(
+        "--max-bad-records", type=_nonneg_int_arg, default=None,
+        metavar="N",
+        help="abort ingestion once more than N records are bad "
+             "(quarantine/skip modes)",
+    )
+    p.add_argument(
+        "--max-bad-fraction", type=_fraction_arg, default=None,
+        metavar="F",
+        help="abort ingestion when more than fraction F of the log is "
+             "bad (checked at end of file)",
+    )
+
+
+def _ingest_policy(args: argparse.Namespace) -> IngestPolicy:
+    return IngestPolicy(
+        mode=args.on_bad_record,
+        max_bad_records=args.max_bad_records,
+        max_bad_fraction=args.max_bad_fraction,
+    )
+
+
 def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
     analysis = CoAnalysis(
         filters=FilterChain(
@@ -97,6 +159,11 @@ def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
     )
     result = analysis.run(ras_log, job_log)
     print(result.report())
+    for label, log in (("RAS", ras_log), ("job", job_log)):
+        report = getattr(log, "quarantine", None)
+        if report is not None:
+            print()
+            print(report.render(label))
     if args.timings:
         print()
         print(render_timings(result.timings, title="stage timings (full)"))
@@ -122,9 +189,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    ras_log = read_ras_log(args.ras)
-    job_log = read_job_log(args.job)
+    policy = _ingest_policy(args)
+    try:
+        ras_log = read_ras_log(args.ras, policy=policy)
+        job_log = read_job_log(args.job, policy=policy)
+    except IngestAbortError as exc:
+        print(f"ingestion aborted: {exc}", file=sys.stderr)
+        print(exc.report.render(), file=sys.stderr)
+        return 2
+    except IngestError as exc:
+        print(
+            f"ingestion rejected a bad record: {exc}\n"
+            "(rerun with --on-bad-record quarantine to divert bad "
+            "records and continue)",
+            file=sys.stderr,
+        )
+        return 2
     return _run_analysis(args, ras_log, job_log)
+
+
+def cmd_corrupt(args: argparse.Namespace) -> int:
+    from repro.faults.corruption import LogCorruptor
+
+    corruptor = LogCorruptor(seed=args.seed, rate=args.rate, kind=args.kind)
+    result = corruptor.corrupt_file(args.src, args.out)
+    print(f"wrote {args.out} ({args.kind} log, seed {args.seed})")
+    print(result.summary())
+    return 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -150,10 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
+    p_cor = sub.add_parser(
+        "corrupt", help="inject cataloged defects into a written log"
+    )
+    p_cor.add_argument("--src", required=True, help="clean input log")
+    p_cor.add_argument("--out", required=True, help="corrupted output path")
+    p_cor.add_argument(
+        "--rate", type=_fraction_arg, default=0.05,
+        help="fraction of rows to damage (default 0.05)",
+    )
+    p_cor.add_argument("--seed", type=int, default=2011)
+    p_cor.add_argument(
+        "--kind", choices=("ras", "job"), default="ras",
+        help="which schema's defect taxonomy to inject (default ras)",
+    )
+    p_cor.set_defaults(func=cmd_corrupt)
+
     p_an = sub.add_parser("analyze", help="co-analyze a (RAS, job) log pair")
     p_an.add_argument("--ras", required=True)
     p_an.add_argument("--job", required=True)
     _add_analysis_args(p_an)
+    _add_ingest_args(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="simulate + analyze in memory")

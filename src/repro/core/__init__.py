@@ -39,7 +39,7 @@ from repro.core.matching import (
 from repro.core.matching_reference import ReferenceInterruptionMatcher
 from repro.core.identify import EventTypeIdentifier, TypeBehavior
 from repro.core.classify import FailureClassifier, FailureOrigin
-from repro.core.pipeline import CoAnalysis, CoAnalysisResult
+from repro.core.pipeline import CoAnalysis, CoAnalysisResult, StageFailure
 
 __all__ = [
     "FatalEventTable",
@@ -62,4 +62,5 @@ __all__ = [
     "FailureOrigin",
     "CoAnalysis",
     "CoAnalysisResult",
+    "StageFailure",
 ]

@@ -19,16 +19,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class Observation:
-    """One numbered observation with its evidence."""
+    """One numbered observation with its evidence.
+
+    ``available`` is False when the observation's input study degraded
+    (see ``CoAnalysisResult.stage_failures``): the verdict renders as
+    SKIPPED rather than counting against the holds tally.
+    """
 
     number: int
     title: str
     holds: bool
     measured: dict[str, Any] = field(default_factory=dict)
     paper: dict[str, Any] = field(default_factory=dict)
+    available: bool = True
 
     def summary(self) -> str:
-        verdict = "HOLDS" if self.holds else "DIVERGES"
+        verdict = (
+            "SKIPPED" if not self.available
+            else "HOLDS" if self.holds else "DIVERGES"
+        )
         parts = ", ".join(f"{k}={_fmt(v)}" for k, v in self.measured.items())
         return f"Obs.{self.number:>2} [{verdict}] {self.title}: {parts}"
 
@@ -39,13 +48,69 @@ def _fmt(v: Any) -> str:
     return str(v)
 
 
+#: canonical titles, shared by the builders and the degraded placeholders
+_TITLES = {
+    1: "some FATAL-labelled events never impact jobs",
+    2: "co-analysis separates system failures from application errors",
+    3: "job-related redundancy is not negligible",
+    4: "Weibull fits; job-related filtering changes the parameters",
+    5: "wide-job workload, not total workload, drives failure rate",
+    6: "interruptions are rare but bursty",
+    7: "interruption rate is far below failure rate (idle hardware)",
+    8: "spatial propagation is rare and file-system borne",
+    9: "interruption history predicts resubmission risk",
+    10: "size, not execution time, drives system-failure vulnerability",
+    11: "application errors surface in the first hour",
+    12: "suspicious users matter in absolute, not relative, terms",
+}
+
+#: the result studies each observation dereferences; when one of them
+#: degraded to None the observation is emitted as unavailable instead of
+#: crashing the whole observations stage
+_OBS_INPUTS = {
+    4: ("interarrivals",),
+    5: ("skew",),
+    6: ("bursts",),
+    7: ("rates",),
+    8: ("propagation",),
+    9: ("vulnerability",),
+    10: ("vulnerability",),
+    11: ("vulnerability",),
+    12: ("vulnerability",),
+}
+
+
 def compute_observations(result: "CoAnalysisResult") -> list[Observation]:
-    """All twelve observations from a finished co-analysis."""
-    out = [
-        _obs1(result), _obs2(result), _obs3(result), _obs4(result),
-        _obs5(result), _obs6(result), _obs7(result), _obs8(result),
-        _obs9(result), _obs10(result), _obs11(result), _obs12(result),
-    ]
+    """All twelve observations from a finished co-analysis.
+
+    Observations whose input study degraded (is ``None``) come back as
+    unavailable placeholders; the rest compute normally.
+    """
+    builders = (
+        _obs1, _obs2, _obs3, _obs4, _obs5, _obs6,
+        _obs7, _obs8, _obs9, _obs10, _obs11, _obs12,
+    )
+    out = []
+    for number, build in enumerate(builders, start=1):
+        missing = [
+            name for name in _OBS_INPUTS.get(number, ())
+            if getattr(result, name) is None
+        ]
+        if missing:
+            out.append(
+                Observation(
+                    number=number,
+                    title=_TITLES[number],
+                    holds=False,
+                    available=False,
+                    measured={
+                        "note": "input degraded: "
+                        + ", ".join(f"studies.{m}" for m in missing)
+                    },
+                )
+            )
+            continue
+        out.append(build(result))
     return out
 
 
@@ -58,7 +123,7 @@ def _obs1(r: "CoAnalysisResult") -> Observation:
         share = 0.0
     return Observation(
         number=1,
-        title="some FATAL-labelled events never impact jobs",
+        title=_TITLES[1],
         holds=len(nonfatal_types) > 0 and share > 0.02,
         measured={
             "nonfatal_types": len(nonfatal_types),
@@ -79,7 +144,7 @@ def _obs2(r: "CoAnalysisResult") -> Observation:
     )
     return Observation(
         number=2,
-        title="co-analysis separates system failures from application errors",
+        title=_TITLES[2],
         holds=n_sys > n_app > 0,
         measured={
             "system_types": n_sys,
@@ -97,7 +162,7 @@ def _obs3(r: "CoAnalysisResult") -> Observation:
     ratio = n_redundant / base if base else 0.0
     return Observation(
         number=3,
-        title="job-related redundancy is not negligible",
+        title=_TITLES[3],
         holds=n_redundant > 0,
         measured={
             "redundant_events": n_redundant,
@@ -119,7 +184,7 @@ def _obs4(r: "CoAnalysisResult") -> Observation:
     if ia.before is None or ia.after is None:
         return Observation(
             number=4,
-            title="Weibull fits; job-related filtering changes the parameters",
+            title=_TITLES[4],
             holds=False,
             measured={"note": "insufficient events for a fit"},
             paper={"shape_before": 0.387, "shape_after": 0.573,
@@ -127,7 +192,7 @@ def _obs4(r: "CoAnalysisResult") -> Observation:
         )
     return Observation(
         number=4,
-        title="Weibull fits; job-related filtering changes the parameters",
+        title=_TITLES[4],
         holds=(
             ia.before.weibull_preferred
             and ia.after.weibull_preferred
@@ -147,7 +212,7 @@ def _obs5(r: "CoAnalysisResult") -> Observation:
     s = r.skew
     return Observation(
         number=5,
-        title="wide-job workload, not total workload, drives failure rate",
+        title=_TITLES[5],
         holds=(
             s.wide_region_event_share > s.wide_region_total_workload_share
             and s.wide_region_wide_workload_share
@@ -170,7 +235,7 @@ def _obs6(r: "CoAnalysisResult") -> Observation:
     )
     return Observation(
         number=6,
-        title="interruptions are rare but bursty",
+        title=_TITLES[6],
         holds=interrupted_share < 0.05 and b.burstiness > 1.0,
         measured={
             "interrupted_job_share": interrupted_share,
@@ -189,7 +254,7 @@ def _obs7(r: "CoAnalysisResult") -> Observation:
     idle_share = r.match.case_share(CASE_IDLE)
     return Observation(
         number=7,
-        title="interruption rate is far below failure rate (idle hardware)",
+        title=_TITLES[7],
         holds=r.rates.mtti_over_mtbf > 1.5 and idle_share > 0.2,
         measured={
             "mtti_over_mtbf": r.rates.mtti_over_mtbf,
@@ -203,7 +268,7 @@ def _obs8(r: "CoAnalysisResult") -> Observation:
     p = r.propagation
     return Observation(
         number=8,
-        title="spatial propagation is rare and file-system borne",
+        title=_TITLES[8],
         holds=p.share_of_fatal_events < 0.15,
         measured={
             "propagating_event_share": p.share_of_fatal_events,
@@ -222,7 +287,7 @@ def _obs9(r: "CoAnalysisResult") -> Observation:
     app_monotone = all(b >= a - 0.05 for a, b in zip(app, app[1:]))
     return Observation(
         number=9,
-        title="interruption history predicts resubmission risk",
+        title=_TITLES[9],
         holds=(max(app) > 0.2 or max(sys_) > 0.2),
         measured={
             "p_system_by_k": [round(p, 3) for p in sys_],
@@ -254,7 +319,7 @@ def _obs10(r: "CoAnalysisResult") -> Observation:
     )
     return Observation(
         number=10,
-        title="size, not execution time, drives system-failure vulnerability",
+        title=_TITLES[10],
         holds=size_trend > 0.3 and not bucket_monotone
         and top_feature in ("size", "location"),
         measured={
@@ -273,7 +338,7 @@ def _obs11(r: "CoAnalysisResult") -> Observation:
     share = r.vulnerability.app_interruptions_first_hour_share
     return Observation(
         number=11,
-        title="application errors surface in the first hour",
+        title=_TITLES[11],
         holds=share > 0.6,
         measured={
             "first_hour_share": share,
@@ -288,7 +353,7 @@ def _obs12(r: "CoAnalysisResult") -> Observation:
     v = r.vulnerability
     return Observation(
         number=12,
-        title="suspicious users matter in absolute, not relative, terms",
+        title=_TITLES[12],
         holds=(
             v.suspicious_user_share >= 0.4
             and v.max_suspicious_user_failure_rate < 0.2

@@ -35,9 +35,27 @@ from repro.logs.ras import RasLog
 from repro.perf import StageTimer, StageTiming
 
 
+@dataclass(frozen=True)
+class StageFailure:
+    """One downstream stage that degraded instead of killing the run."""
+
+    stage: str  # e.g. "studies.bursts"
+    kind: str  # exception class name
+    error: str  # stringified exception
+
+    def describe(self) -> str:
+        return f"{self.stage}: {self.kind}: {self.error}"
+
+
 @dataclass
 class CoAnalysisResult:
-    """Everything the co-analysis produced, ready for reporting."""
+    """Everything the co-analysis produced, ready for reporting.
+
+    Downstream studies are optional: when the pipeline runs with error
+    boundaries (the default), a study that raises is recorded in
+    :attr:`stage_failures` and its field is ``None`` — the report
+    renders the degradation instead of the run dying.
+    """
 
     # pipeline products
     filter_stats: FilterStats
@@ -49,14 +67,14 @@ class CoAnalysisResult:
     job_related_redundant_ids: set[int]
     interruptions: Frame  # per-job, categorized
 
-    # studies
-    interarrivals: InterarrivalStudy
-    rates: InterruptionRateStudy
-    midplane_profile: Frame
-    skew: MidplaneSkewSummary
-    bursts: BurstStudy
-    propagation: PropagationStudy
-    vulnerability: VulnerabilityStudy
+    # studies (None when degraded — see stage_failures)
+    interarrivals: InterarrivalStudy | None
+    rates: InterruptionRateStudy | None
+    midplane_profile: Frame | None
+    skew: MidplaneSkewSummary | None
+    bursts: BurstStudy | None
+    propagation: PropagationStudy | None
+    vulnerability: VulnerabilityStudy | None
 
     # context
     num_jobs: int
@@ -72,7 +90,23 @@ class CoAnalysisResult:
     #: execution order
     timings: tuple[StageTiming, ...] = ()
 
+    #: the degradation report: downstream stages that raised and were
+    #: captured instead of killing the co-analysis
+    stage_failures: tuple[StageFailure, ...] = ()
+
     # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one downstream stage failed."""
+        return bool(self.stage_failures)
+
+    def failure(self, stage: str) -> StageFailure | None:
+        """The failure recorded for *stage*, if any."""
+        for f in self.stage_failures:
+            if f.stage == stage:
+                return f
+        return None
 
     @property
     def num_interrupted_jobs(self) -> int:
@@ -119,6 +153,10 @@ class CoAnalysis:
     classifier: FailureClassifier = field(default_factory=FailureClassifier)
     job_filter: JobRelatedFilter = field(default_factory=JobRelatedFilter)
     compute_observations_flag: bool = True
+    #: with boundaries on (default), a downstream study that raises is
+    #: recorded as a StageFailure and the run completes degraded; off
+    #: restores fail-fast semantics for debugging
+    error_boundaries: bool = True
 
     def run(self, ras_log: RasLog, job_log: JobLog) -> CoAnalysisResult:
         """Run the full co-analysis over one (RAS log, job log) pair."""
@@ -163,26 +201,74 @@ class CoAnalysis:
             events_final = events_filtered.drop_ids(redundant)
             st.rows = len(events_final)
 
+        failures: list[StageFailure] = []
+
+        def guarded(stage: str, fn, fallback=None):
+            """Run one optional downstream stage behind an error boundary."""
+            if not self.error_boundaries:
+                return fn()
+            try:
+                return fn()
+            except Exception as exc:  # noqa: BLE001 - the boundary's job
+                failures.append(
+                    StageFailure(
+                        stage, type(exc).__name__, str(exc) or repr(exc)
+                    )
+                )
+                return fallback
+
         with timer.stage("studies") as st:
-            interruptions = categorize_interruptions(
-                match.interruptions, classification
+            interruptions = guarded(
+                "studies.categorize",
+                lambda: categorize_interruptions(
+                    match.interruptions, classification
+                ),
+                fallback=_empty_categorized(match.interruptions),
             )
 
-            interarrivals = interarrival_study(events_filtered, events_final)
+            interarrivals = guarded(
+                "studies.interarrivals",
+                lambda: interarrival_study(events_filtered, events_final),
+            )
             mtbf = (
                 interarrivals.after.weibull.mean
-                if interarrivals.after is not None
+                if interarrivals is not None and interarrivals.after is not None
                 else float("nan")
             )
-            rates = interruption_rate_study(interruptions, mtbf=mtbf)
-            profile = midplane_profile(events_final, job_log)
-            skew = midplane_skew(profile)
+            rates = guarded(
+                "studies.rates",
+                lambda: interruption_rate_study(interruptions, mtbf=mtbf),
+            )
+            profile = guarded(
+                "studies.midplane_profile",
+                lambda: midplane_profile(events_final, job_log),
+            )
+            if profile is not None:
+                skew = guarded("studies.skew", lambda: midplane_skew(profile))
+            else:
+                skew = None
+                failures.append(
+                    StageFailure(
+                        "studies.skew",
+                        "Skipped",
+                        "input stage studies.midplane_profile degraded",
+                    )
+                )
 
             t_start, duration = _window(ras_log, job_log)
-            bursts = burst_study(interruptions, t_start, duration)
-            propagation = propagation_study(match.pairs, len(events_filtered))
-            vulnerability = vulnerability_study(
-                job_log, interruptions, events_final
+            bursts = guarded(
+                "studies.bursts",
+                lambda: burst_study(interruptions, t_start, duration),
+            )
+            propagation = guarded(
+                "studies.propagation",
+                lambda: propagation_study(match.pairs, len(events_filtered)),
+            )
+            vulnerability = guarded(
+                "studies.vulnerability",
+                lambda: vulnerability_study(
+                    job_log, interruptions, events_final
+                ),
             )
             st.rows = interruptions.num_rows
 
@@ -210,11 +296,24 @@ class CoAnalysis:
                 job_log, interruptions
             ),
         )
+        result.stage_failures = tuple(failures)
         if self.compute_observations_flag:
             with timer.stage("observations"):
-                result.observations = compute_observations(result)
+                result.observations = guarded(
+                    "observations",
+                    lambda: compute_observations(result),
+                    fallback=[],
+                )
+                result.stage_failures = tuple(failures)
         result.timings = timer.timings
         return result
+
+
+def _empty_categorized(interruptions: Frame) -> Frame:
+    """Typed empty fallback matching categorize_interruptions' schema."""
+    return interruptions.head(0).with_column(
+        "category", np.array([], dtype=np.int64)
+    )
 
 
 def _first_job_per_event(pairs: Frame) -> Frame:

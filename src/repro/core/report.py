@@ -9,23 +9,66 @@ from repro.workload.tables import RUNTIME_BUCKETS, SIZE_CLASSES
 
 
 def render_report(result) -> str:
-    """A full human-readable report over a :class:`CoAnalysisResult`."""
+    """A full human-readable report over a :class:`CoAnalysisResult`.
+
+    Studies that degraded (see ``CoAnalysisResult.stage_failures``)
+    render as a DEGRADED stub naming the failed stage and why, and the
+    degradation summary lists every captured failure.
+    """
     sections = [
         _header(result),
         _filtering_section(result),
         _identification_section(result),
         _classification_section(result),
-        _table4(result),
-        _table5(result),
-        _table6(result),
-        _figure4(result),
-        _figure5(result),
-        _figure7(result),
+        _section(result, _table4, "Table IV: fatal interarrival Weibull fits",
+                 "studies.interarrivals", result.interarrivals),
+        _section(result, _table5, "Table V: interruption interarrival Weibull fits",
+                 "studies.rates", result.rates),
+        _section(result, _table6, "Table VI: system interruptions / jobs by size x time",
+                 "studies.vulnerability", result.vulnerability),
+        _section(result, _figure4, "Figure 4a: fatal events per midplane",
+                 "studies.midplane_profile", result.midplane_profile,
+                 "studies.skew", result.skew),
+        _section(result, _figure5, "Figure 5: interruptions per day",
+                 "studies.bursts", result.bursts),
+        _section(result, _figure7, "Figure 7: P(interrupt on resubmission | k prior)",
+                 "studies.vulnerability", result.vulnerability),
         _observations_section(result),
     ]
+    if getattr(result, "stage_failures", ()):
+        sections.append(_degradation_section(result))
     if getattr(result, "timings", ()):
         sections.append(_timings_section(result))
     return "\n\n".join(sections)
+
+
+def _section(r, render, title, *stage_value_pairs) -> str:
+    """Render a study-backed section, or a DEGRADED stub if its inputs
+    are missing."""
+    stages = stage_value_pairs[::2]
+    values = stage_value_pairs[1::2]
+    missing = [s for s, v in zip(stages, values) if v is None]
+    if not missing:
+        return render(r)
+    reasons = []
+    for stage in missing:
+        f = r.failure(stage)
+        reasons.append(f.describe() if f else f"{stage}: unavailable")
+    return "\n".join(
+        [f"-- {title} " + "-" * max(1, 58 - len(title)),
+         "DEGRADED: " + "; ".join(reasons)]
+    )
+
+
+def _degradation_section(r) -> str:
+    lines = ["-- Degraded stages " + "-" * 40]
+    for f in r.stage_failures:
+        lines.append(f"  {f.describe()}")
+    lines.append(
+        f"=> {len(r.stage_failures)} stage(s) degraded;"
+        " all other results are from clean inputs"
+    )
+    return "\n".join(lines)
 
 
 def _timings_section(r) -> str:
@@ -226,5 +269,9 @@ def _observations_section(r) -> str:
     lines = ["-- The twelve observations " + "-" * 32]
     lines += [obs.summary() for obs in r.observations]
     held = sum(1 for o in r.observations if o.holds)
-    lines.append(f"=> {held}/12 observations hold")
+    skipped = sum(1 for o in r.observations if not o.available)
+    tally = f"=> {held}/{len(r.observations) - skipped} observations hold"
+    if skipped:
+        tally += f" ({skipped} skipped on degraded inputs)"
+    lines.append(tally)
     return "\n".join(lines)

@@ -22,6 +22,13 @@ it, so this package generates one with the same statistical anatomy:
   with the scheduler simulation.
 """
 
+from repro.faults.corruption import (
+    JOB_DEFECT_CLASSES,
+    RAS_DEFECT_CLASSES,
+    CorruptionResult,
+    InjectedDefect,
+    LogCorruptor,
+)
 from repro.faults.catalog import (
     APP_ERROR_TYPES,
     FAULT_CATALOG,
@@ -48,4 +55,9 @@ __all__ = [
     "ApplicationErrorModel",
     "SystemFaultProcess",
     "StormEmitter",
+    "LogCorruptor",
+    "CorruptionResult",
+    "InjectedDefect",
+    "RAS_DEFECT_CLASSES",
+    "JOB_DEFECT_CLASSES",
 ]

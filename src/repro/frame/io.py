@@ -4,17 +4,34 @@ The RAS and job logs are serialized as header-bearing delimited text
 (``|`` by default, mirroring DB2 export style). Types are recovered on
 read from a dtype tag appended to each header cell, so round-trips are
 loss-free for int/float/str/bool columns.
+
+String cells are escaped on write (``\\`` → ``\\\\``, separator →
+``\\p``, newline → ``\\n``, carriage return → ``\\r``) and unescaped on
+read, so messages containing the delimiter or embedded newlines
+round-trip losslessly. Readers tolerate a UTF-8 BOM and CRLF line
+endings, both of which real exports grown on other platforms carry.
+
+Passing an :class:`repro.logs.quarantine.IngestPolicy` switches
+:func:`read_delimited` to a per-line validating path that classifies
+structural damage (blank/truncated/garbled/encoding) and typed-cell
+failures into the defect taxonomy: strict policies raise an
+:class:`~repro.logs.quarantine.IngestError` with the line number, while
+quarantine/skip policies divert bad rows and keep parsing.
 """
 
 from __future__ import annotations
 
 import io as _io
+import re
 from pathlib import Path
 from typing import IO
 
 import numpy as np
 
 from repro.frame.frame import Frame
+
+if False:  # import-time cycle guard: quarantine lives above frame
+    from repro.logs.quarantine import IngestPolicy, QuarantineReport
 
 _TAGS = {"i": "int", "u": "int", "f": "float", "b": "bool", "O": "str", "U": "str"}
 _PARSERS = {
@@ -24,12 +41,37 @@ _PARSERS = {
     "str": lambda col: np.array(list(col), dtype=object),
 }
 
+_BOM = "\ufeff"
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def escape_cell(text: str, sep: str = "|") -> str:
+    """Escape a string cell so it carries no separator or line break."""
+    if "\\" not in text and sep not in text and "\n" not in text and "\r" not in text:
+        return text
+    return (
+        text.replace("\\", "\\\\")
+        .replace(sep, "\\p")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def unescape_cell(text: str, sep: str = "|") -> str:
+    """Invert :func:`escape_cell` (unknown escapes pass through)."""
+    if "\\" not in text:
+        return text
+    mapping = {"\\": "\\", "p": sep, "n": "\n", "r": "\r"}
+    return _ESCAPE_RE.sub(
+        lambda m: mapping.get(m.group(1), m.group(0)), text
+    )
+
 
 def write_delimited(frame: Frame, target: str | Path | IO[str], sep: str = "|") -> None:
     """Write *frame* as delimited text with a typed header row.
 
-    String cells must not contain the separator or newlines; the log
-    formats guarantee this (messages use ``;`` and spaces).
+    String cells containing the separator, line breaks, or backslashes
+    are escaped (see module docstring) so write→read is lossless.
     """
     close = False
     if isinstance(target, (str, Path)):
@@ -50,12 +92,9 @@ def write_delimited(frame: Frame, target: str | Path | IO[str], sep: str = "|") 
         str_cols = []
         for col in cols:
             if col.dtype.kind in "OU":
-                for v in col:
-                    if sep in v or "\n" in v:
-                        raise ValueError(
-                            f"string cell {v!r} contains separator or newline"
-                        )
-                str_cols.append(col)
+                str_cols.append(
+                    np.array([escape_cell(v, sep) for v in col], dtype=object)
+                )
             elif col.dtype.kind == "f":
                 str_cols.append(np.array([repr(float(v)) for v in col], dtype=object))
             else:
@@ -67,38 +106,98 @@ def write_delimited(frame: Frame, target: str | Path | IO[str], sep: str = "|") 
             fh.close()
 
 
-def read_delimited(source: str | Path | IO[str], sep: str = "|") -> Frame:
-    """Read a frame written by :func:`write_delimited`."""
-    close = False
+def _open_for_read(source: str | Path | IO[str], tolerant: bool) -> tuple[IO[str], bool]:
     if isinstance(source, (str, Path)):
-        fh: IO[str] = open(source, "r", encoding="utf-8")
-        close = True
-    else:
-        fh = source
+        # utf-8-sig absorbs a BOM if present; errors="replace" keeps the
+        # tolerant path line-oriented so encoding damage is classified
+        # per record instead of killing the whole read
+        return (
+            open(
+                source,
+                "r",
+                encoding="utf-8-sig",
+                errors="replace" if tolerant else "strict",
+            ),
+            True,
+        )
+    return source, False
+
+
+def _parse_header(header_line: str, sep: str) -> tuple[list[str], list[str]]:
+    names, tags = [], []
+    for cell in header_line.split(sep):
+        name, _, tag = cell.rpartition(":")
+        if tag not in _PARSERS:
+            raise ValueError(f"bad header cell {cell!r}")
+        names.append(name)
+        tags.append(tag)
+    return names, tags
+
+
+def read_delimited(
+    source: str | Path | IO[str],
+    sep: str = "|",
+    policy: "IngestPolicy | str | None" = None,
+    report: "QuarantineReport | None" = None,
+) -> Frame:
+    """Read a frame written by :func:`write_delimited`.
+
+    With *policy* ``None`` (the default) any malformed line raises a
+    plain :class:`ValueError` — the legacy fast path. Passing a policy
+    (or a mode string ``"strict"``/``"quarantine"``/``"skip"``) enables
+    per-line defect classification; bad rows are routed through the
+    policy and, for non-strict modes, tallied into *report*.
+    """
+    from repro.logs.quarantine import (
+        coerce_policy,
+        finish_ingest,
+        handle_bad_record,
+        structural_defect,
+        typed_cell_defect,
+    )
+
+    validating = policy is not None
+    pol = coerce_policy(policy)
+    fh, close = _open_for_read(source, tolerant=validating)
+    if report is None:
+        report = pol.new_report(str(source) if close else "")
     try:
-        header_line = fh.readline().rstrip("\n")
+        header_line = fh.readline().rstrip("\r\n").lstrip(_BOM)
         if not header_line:
             return Frame()
-        names, tags = [], []
-        for cell in header_line.split(sep):
-            name, _, tag = cell.rpartition(":")
-            if tag not in _PARSERS:
-                raise ValueError(f"bad header cell {cell!r}")
-            names.append(name)
-            tags.append(tag)
+        names, tags = _parse_header(header_line, sep)
         raw_cols: list[list[str]] = [[] for _ in names]
-        for line in fh:
-            parts = line.rstrip("\n").split(sep)
-            if len(parts) != len(names):
-                raise ValueError(
-                    f"row has {len(parts)} cells, expected {len(names)}: {line!r}"
-                )
-            for c, v in zip(raw_cols, parts):
-                c.append(v)
-        data = {
-            name: _PARSERS[tag](col)
-            for name, tag, col in zip(names, tags, raw_cols)
-        }
+        if not validating:
+            for line in fh:
+                parts = line.rstrip("\r\n").split(sep)
+                if len(parts) != len(names):
+                    raise ValueError(
+                        f"row has {len(parts)} cells, expected {len(names)}: {line!r}"
+                    )
+                for c, v in zip(raw_cols, parts):
+                    c.append(v)
+        else:
+            for line_no, line in enumerate(fh, start=2):
+                text = line.rstrip("\r\n")
+                report.total_rows += 1
+                parts = text.split(sep)
+                defect = structural_defect(text, len(parts), len(names))
+                if defect is None:
+                    for v, tag in zip(parts, tags):
+                        defect = typed_cell_defect(v, tag)
+                        if defect is not None:
+                            break
+                if defect is not None:
+                    handle_bad_record(pol, report, line_no, defect, text)
+                    continue
+                for c, v in zip(raw_cols, parts):
+                    c.append(v)
+            finish_ingest(pol, report)
+        data = {}
+        for name, tag, col in zip(names, tags, raw_cols):
+            if tag == "str":
+                col = [unescape_cell(v, sep) for v in col]
+            data[name] = _PARSERS[tag](col)
         return Frame(data)
     finally:
         if close:
@@ -112,6 +211,11 @@ def to_string(frame: Frame, sep: str = "|") -> str:
     return buf.getvalue()
 
 
-def from_string(text: str, sep: str = "|") -> Frame:
+def from_string(
+    text: str,
+    sep: str = "|",
+    policy: IngestPolicy | str | None = None,
+    report: QuarantineReport | None = None,
+) -> Frame:
     """Parse a frame from :func:`to_string` output."""
-    return read_delimited(_io.StringIO(text), sep=sep)
+    return read_delimited(_io.StringIO(text), sep=sep, policy=policy, report=report)

@@ -18,6 +18,13 @@ from repro.logs.ras import (
     Severity,
 )
 from repro.logs.job import JOB_COLUMNS, JobLog, JobRecord
+from repro.logs.quarantine import (
+    DefectClass,
+    IngestAbortError,
+    IngestError,
+    IngestPolicy,
+    QuarantineReport,
+)
 from repro.logs.textio import (
     format_bgp_time,
     parse_bgp_time,
@@ -38,6 +45,11 @@ __all__ = [
     "JobRecord",
     "JobLog",
     "JOB_COLUMNS",
+    "DefectClass",
+    "IngestPolicy",
+    "IngestError",
+    "IngestAbortError",
+    "QuarantineReport",
     "format_bgp_time",
     "parse_bgp_time",
     "read_ras_log",

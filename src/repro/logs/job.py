@@ -75,6 +75,9 @@ class JobLog:
         if missing:
             raise ValueError(f"job frame missing columns {missing}")
         self.frame = frame
+        #: filled by `repro.logs.textio.read_job_log` when a non-strict
+        #: ingest policy diverted bad records; None otherwise
+        self.quarantine = None
 
     @classmethod
     def from_records(cls, records: Iterable[JobRecord]) -> "JobLog":

@@ -105,6 +105,10 @@ class RasLog:
         if missing:
             raise ValueError(f"RAS frame missing columns {missing}")
         self.frame = frame
+        #: filled by the tolerant readers (`repro.logs.textio` /
+        #: `repro.logs.stream`) when a non-strict ingest policy diverted
+        #: bad records; None for strict or in-memory logs
+        self.quarantine = None
 
     @classmethod
     def from_records(cls, records: Iterable[RasRecord]) -> "RasLog":

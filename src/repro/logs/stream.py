@@ -4,10 +4,21 @@ A real 237-day RAS export runs to gigabytes; loading it whole just to
 count severities or extract the FATAL subset wastes memory. These
 helpers stream the pipe-delimited format written by
 :func:`repro.logs.textio.write_ras_log` in bounded chunks.
+
+Ingestion is policy-driven (:mod:`repro.logs.quarantine`): every data
+line passes structural checks (encoding damage, blank, truncated,
+garbled delimiters), field checks (recid, BG/P timestamp, severity /
+component / ERRCODE vocabulary), and cross-record checks (duplicate
+recids, out-of-order event times). Under the default ``strict`` policy
+the first defect raises an :class:`~repro.logs.quarantine.IngestError`
+carrying the line number and defect class; under ``quarantine`` /
+``skip`` bad lines are diverted into a
+:class:`~repro.logs.quarantine.QuarantineReport` and parsing continues.
 """
 
 from __future__ import annotations
 
+import re
 from collections import Counter
 from pathlib import Path
 from typing import Iterator
@@ -15,7 +26,17 @@ from typing import Iterator
 import numpy as np
 
 from repro.frame import Frame
-from repro.logs.ras import RAS_COLUMNS, RasLog
+from repro.frame.io import unescape_cell
+from repro.logs.quarantine import (
+    DefectClass,
+    IngestPolicy,
+    QuarantineReport,
+    coerce_policy,
+    finish_ingest,
+    handle_bad_record,
+    structural_defect,
+)
+from repro.logs.ras import COMPONENTS, RAS_COLUMNS, SEVERITIES, RasLog
 from repro.logs.textio import parse_bgp_time
 
 _DISK_COLUMNS = (
@@ -23,43 +44,141 @@ _DISK_COLUMNS = (
     "severity", "event_time_bgp", "location", "serialnumber", "message",
 )
 
+_SEVERITY_SET = frozenset(SEVERITIES)
+_COMPONENT_SET = frozenset(COMPONENTS)
+#: ERRCODEs are identifier-shaped tokens (``_bgp_err_ddr_controller``,
+#: ``CiodHungProxy``); anything else is vocabulary damage
+_ERRCODE_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+#: disk-layout indices of the semantically validated fields
+_RECID_IDX = 0
+_COMPONENT_IDX = 2
+_ERRCODE_IDX = 4
+_SEVERITY_IDX = 5
+_TIME_IDX = 6
+
+
+class RasRowCursor:
+    """Cross-record validation state for one pass over a RAS file."""
+
+    __slots__ = ("seen_recids", "max_time")
+
+    def __init__(self) -> None:
+        self.seen_recids: set[int] = set()
+        self.max_time = float("-inf")
+
+    def accept(self, recid: int, event_time: float) -> None:
+        self.seen_recids.add(recid)
+        if event_time > self.max_time:
+            self.max_time = event_time
+
+
+def classify_ras_line(
+    text: str, cursor: RasRowCursor, sep: str = "|"
+) -> tuple[DefectClass | None, tuple[list[str], int, float] | None]:
+    """Classify one data line against the defect taxonomy.
+
+    Returns ``(None, (cells, recid, event_time))`` for a clean line —
+    the caller must then :meth:`RasRowCursor.accept` it — or
+    ``(defect, None)`` for a bad one. Cross-record checks compare
+    against *accepted* rows only, so one quarantined line never
+    cascades into false positives on its neighbours.
+    """
+    parts = text.split(sep)
+    defect = structural_defect(text, len(parts), len(_DISK_COLUMNS))
+    if defect is not None:
+        return defect, None
+    cells = [unescape_cell(p, sep) for p in parts]
+    try:
+        recid = int(cells[_RECID_IDX])
+    except ValueError:
+        return DefectClass.BAD_FIELD, None
+    try:
+        event_time = parse_bgp_time(cells[_TIME_IDX])
+    except ValueError:
+        return DefectClass.INVALID_TIMESTAMP, None
+    if cells[_SEVERITY_IDX] not in _SEVERITY_SET:
+        return DefectClass.UNKNOWN_SEVERITY, None
+    if cells[_COMPONENT_IDX] not in _COMPONENT_SET:
+        return DefectClass.UNKNOWN_COMPONENT, None
+    if not _ERRCODE_RE.match(cells[_ERRCODE_IDX]):
+        return DefectClass.UNKNOWN_ERRCODE, None
+    if recid in cursor.seen_recids:
+        return DefectClass.DUPLICATE_RECID, None
+    if event_time < cursor.max_time:
+        return DefectClass.OUT_OF_ORDER_TIME, None
+    return None, (cells, recid, event_time)
+
 
 def iter_ras_chunks(
-    path: str | Path, chunk_rows: int = 100_000
+    path: str | Path,
+    chunk_rows: int = 100_000,
+    policy: IngestPolicy | str | None = None,
+    report: QuarantineReport | None = None,
 ) -> Iterator[RasLog]:
-    """Yield a written RAS log file as bounded :class:`RasLog` chunks."""
+    """Yield a written RAS log file as bounded :class:`RasLog` chunks.
+
+    An empty or header-only file yields exactly one typed empty chunk
+    (matching the ``Frame.from_rows([], columns=...)`` typed-empty
+    semantics) rather than crashing. A recognisable-but-wrong header
+    still raises: when the schema itself cannot be trusted, no policy
+    can salvage the rows beneath it.
+    """
     if chunk_rows <= 0:
         raise ValueError("chunk_rows must be positive")
-    with open(path, "r", encoding="utf-8") as fh:
-        header = fh.readline().rstrip("\n")
+    pol = coerce_policy(policy)
+    if report is None:
+        report = pol.new_report(str(path))
+    from repro.logs.ras import empty_ras_log
+
+    with open(path, "r", encoding="utf-8-sig", errors="replace") as fh:
+        header = fh.readline().rstrip("\r\n")
+        if not header:
+            yield empty_ras_log()
+            return
         names = [cell.rpartition(":")[0] for cell in header.split("|")]
         if tuple(names) != _DISK_COLUMNS:
             raise ValueError(f"unexpected RAS header {names}")
+        cursor = RasRowCursor()
         buffer: list[list[str]] = []
-        for line in fh:
-            parts = line.rstrip("\n").split("|")
-            if len(parts) != len(names):
-                raise ValueError(f"ragged row: {line!r}")
-            buffer.append(parts)
+        recids: list[int] = []
+        times: list[float] = []
+        yielded = False
+        for line_no, line in enumerate(fh, start=2):
+            text = line.rstrip("\r\n")
+            report.total_rows += 1
+            defect, parsed = classify_ras_line(text, cursor)
+            if defect is not None:
+                handle_bad_record(pol, report, line_no, defect, text)
+                continue
+            cells, recid, event_time = parsed
+            cursor.accept(recid, event_time)
+            buffer.append(cells)
+            recids.append(recid)
+            times.append(event_time)
             if len(buffer) >= chunk_rows:
-                yield _chunk_to_log(buffer)
-                buffer = []
+                yield _chunk_to_log(buffer, recids, times)
+                buffer, recids, times = [], [], []
+                yielded = True
+        finish_ingest(pol, report)
         if buffer:
-            yield _chunk_to_log(buffer)
+            yield _chunk_to_log(buffer, recids, times)
+        elif not yielded:
+            yield empty_ras_log()
 
 
-def _chunk_to_log(rows: list[list[str]]) -> RasLog:
+def _chunk_to_log(
+    rows: list[list[str]], recids: list[int], times: list[float]
+) -> RasLog:
     cols = list(zip(*rows))
     data = {
-        "recid": np.array([int(v) for v in cols[0]], dtype=np.int64),
+        "recid": np.array(recids, dtype=np.int64),
         "msg_id": np.array(cols[1], dtype=object),
         "component": np.array(cols[2], dtype=object),
         "subcomponent": np.array(cols[3], dtype=object),
         "errcode": np.array(cols[4], dtype=object),
         "severity": np.array(cols[5], dtype=object),
-        "event_time": np.array(
-            [parse_bgp_time(v) for v in cols[6]], dtype=np.float64
-        ),
+        "event_time": np.array(times, dtype=np.float64),
         "location": np.array(cols[7], dtype=object),
         "serialnumber": np.array(cols[8], dtype=object),
         "message": np.array(cols[9], dtype=object),
@@ -68,17 +187,25 @@ def _chunk_to_log(rows: list[list[str]]) -> RasLog:
 
 
 def scan_severity_counts(
-    path: str | Path, chunk_rows: int = 100_000
+    path: str | Path,
+    chunk_rows: int = 100_000,
+    policy: IngestPolicy | str | None = None,
+    report: QuarantineReport | None = None,
 ) -> dict[str, int]:
     """Severity histogram of a RAS file in one bounded-memory pass."""
     counts: Counter[str] = Counter()
-    for chunk in iter_ras_chunks(path, chunk_rows=chunk_rows):
+    for chunk in iter_ras_chunks(
+        path, chunk_rows=chunk_rows, policy=policy, report=report
+    ):
         counts.update(chunk.severity_counts())
     return dict(counts)
 
 
 def extract_fatal(
-    path: str | Path, chunk_rows: int = 100_000
+    path: str | Path,
+    chunk_rows: int = 100_000,
+    policy: IngestPolicy | str | None = None,
+    report: QuarantineReport | None = None,
 ) -> RasLog:
     """The FATAL subset of a RAS file, streamed chunk by chunk.
 
@@ -88,7 +215,10 @@ def extract_fatal(
     from repro.frame import concat
 
     parts = [
-        chunk.fatal().frame for chunk in iter_ras_chunks(path, chunk_rows)
+        chunk.fatal().frame
+        for chunk in iter_ras_chunks(
+            path, chunk_rows, policy=policy, report=report
+        )
     ]
     parts = [p for p in parts if p.num_rows]
     if not parts:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.frame import Frame
 from repro.frame.io import read_delimited, write_delimited
 from repro.logs.job import JOB_COLUMNS, JobLog
+from repro.logs.quarantine import IngestPolicy, coerce_policy
 from repro.logs.ras import RAS_COLUMNS, RasLog
 
 _BGP_FMT = "%Y-%m-%d-%H.%M.%S.%f"
@@ -46,14 +47,30 @@ def write_ras_log(log: RasLog, path: str | Path) -> None:
     write_delimited(rendered.select(order), path)
 
 
-def read_ras_log(path: str | Path) -> RasLog:
-    """Read a RAS log written by :func:`write_ras_log`."""
-    raw = read_delimited(path)
-    epoch = np.array(
-        [parse_bgp_time(t) for t in raw["event_time_bgp"]], dtype=np.float64
-    )
-    frame = raw.with_column("event_time", epoch).drop("event_time_bgp")
-    return RasLog(frame.select(list(RAS_COLUMNS)))
+def read_ras_log(
+    path: str | Path, policy: IngestPolicy | str | None = None
+) -> RasLog:
+    """Read a RAS log written by :func:`write_ras_log`.
+
+    *policy* selects the strictness mode (see
+    :mod:`repro.logs.quarantine`); with a non-strict policy the returned
+    log carries the :class:`~repro.logs.quarantine.QuarantineReport` on
+    its ``quarantine`` attribute.
+    """
+    from repro.frame import concat
+    from repro.logs.ras import empty_ras_log
+    from repro.logs.stream import iter_ras_chunks
+
+    pol = coerce_policy(policy)
+    report = pol.new_report(str(path))
+    frames = [
+        chunk.frame
+        for chunk in iter_ras_chunks(path, policy=pol, report=report)
+        if chunk.frame.num_rows
+    ]
+    log = RasLog(concat(frames)) if frames else empty_ras_log()
+    log.quarantine = None if pol.is_strict else report
+    return log
 
 
 def write_job_log(log: JobLog, path: str | Path) -> None:
@@ -61,9 +78,20 @@ def write_job_log(log: JobLog, path: str | Path) -> None:
     write_delimited(log.frame.select(list(JOB_COLUMNS)), path)
 
 
-def read_job_log(path: str | Path) -> JobLog:
-    """Read a job log written by :func:`write_job_log`."""
-    return JobLog(read_delimited(path))
+def read_job_log(
+    path: str | Path, policy: IngestPolicy | str | None = None
+) -> JobLog:
+    """Read a job log written by :func:`write_job_log`.
+
+    Job-log damage is structural/typed only (blank, truncated, garbled,
+    encoding garbage, unparseable numeric cells); the defect taxonomy
+    and policy semantics match the RAS reader's.
+    """
+    pol = coerce_policy(policy)
+    report = pol.new_report(str(path))
+    log = JobLog(read_delimited(path, policy=pol, report=report))
+    log.quarantine = None if pol.is_strict else report
+    return log
 
 
 def describe_ras_record(frame_row: dict) -> str:

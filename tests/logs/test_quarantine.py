@@ -1,0 +1,188 @@
+"""Unit tests for ingestion policies and the quarantine ledger."""
+
+import pytest
+
+from repro.logs.quarantine import (
+    INGEST_MODES,
+    SAMPLE_WIDTH,
+    BadRecord,
+    DefectClass,
+    IngestAbortError,
+    IngestError,
+    IngestPolicy,
+    QuarantineReport,
+    coerce_policy,
+    finish_ingest,
+    handle_bad_record,
+    structural_defect,
+    typed_cell_defect,
+)
+
+
+class TestPolicy:
+    def test_default_is_strict(self):
+        assert IngestPolicy().is_strict
+        assert coerce_policy(None).is_strict
+
+    def test_mode_string_coerces(self):
+        assert coerce_policy("quarantine").mode == "quarantine"
+        assert coerce_policy("skip").mode == "skip"
+
+    def test_policy_passes_through(self):
+        pol = IngestPolicy(mode="quarantine", max_bad_records=3)
+        assert coerce_policy(pol) is pol
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            IngestPolicy(mode="lenient")
+
+    def test_modes_tuple_covers_all(self):
+        assert INGEST_MODES == ("strict", "quarantine", "skip")
+
+    def test_negative_max_bad_records_rejected(self):
+        with pytest.raises(ValueError, match="max_bad_records"):
+            IngestPolicy(mode="skip", max_bad_records=-1)
+
+    def test_bad_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="max_bad_fraction"):
+            IngestPolicy(mode="skip", max_bad_fraction=1.5)
+
+    def test_skip_mode_report_keeps_no_samples(self):
+        report = IngestPolicy(mode="skip").new_report()
+        report.record(2, DefectClass.BLANK_LINE, "")
+        assert report.bad_rows == 1
+        assert report.samples.get(DefectClass.BLANK_LINE, []) == []
+
+    def test_quarantine_mode_report_keeps_samples(self):
+        report = IngestPolicy(mode="quarantine").new_report("x.log")
+        report.record(2, DefectClass.BLANK_LINE, "")
+        assert report.source == "x.log"
+        assert len(report.samples[DefectClass.BLANK_LINE]) == 1
+
+
+class TestHandleBadRecord:
+    def test_strict_raises_typed_error(self):
+        pol = IngestPolicy()
+        with pytest.raises(IngestError) as exc:
+            handle_bad_record(
+                pol, pol.new_report(), 7, DefectClass.TRUNCATED_LINE, "1|2"
+            )
+        assert exc.value.line_no == 7
+        assert exc.value.defect is DefectClass.TRUNCATED_LINE
+        assert "truncated_line" in str(exc.value)
+
+    def test_quarantine_records_instead_of_raising(self):
+        pol = IngestPolicy(mode="quarantine")
+        report = pol.new_report()
+        handle_bad_record(report=report, policy=pol, line_no=3,
+                          defect=DefectClass.BLANK_LINE, text="")
+        assert report.count(DefectClass.BLANK_LINE) == 1
+
+    def test_max_bad_records_aborts_incrementally(self):
+        pol = IngestPolicy(mode="quarantine", max_bad_records=2)
+        report = pol.new_report()
+        handle_bad_record(pol, report, 2, DefectClass.BLANK_LINE, "")
+        handle_bad_record(pol, report, 3, DefectClass.BLANK_LINE, "")
+        with pytest.raises(IngestAbortError, match="max_bad_records"):
+            handle_bad_record(pol, report, 4, DefectClass.BLANK_LINE, "")
+
+    def test_abort_carries_the_report(self):
+        pol = IngestPolicy(mode="skip", max_bad_records=0)
+        report = pol.new_report()
+        with pytest.raises(IngestAbortError) as exc:
+            handle_bad_record(pol, report, 2, DefectClass.BLANK_LINE, "")
+        assert exc.value.report is report
+        assert exc.value.report.bad_rows == 1
+
+
+class TestFinishIngest:
+    def test_bad_fraction_abort(self):
+        pol = IngestPolicy(mode="quarantine", max_bad_fraction=0.1)
+        report = pol.new_report()
+        report.total_rows = 10
+        for i in range(2):
+            report.record(2 + i, DefectClass.BLANK_LINE, "")
+        with pytest.raises(IngestAbortError, match="max_bad_fraction"):
+            finish_ingest(pol, report)
+
+    def test_under_threshold_passes(self):
+        pol = IngestPolicy(mode="quarantine", max_bad_fraction=0.5)
+        report = pol.new_report()
+        report.total_rows = 10
+        report.record(2, DefectClass.BLANK_LINE, "")
+        finish_ingest(pol, report)  # no raise
+
+    def test_empty_file_never_aborts(self):
+        pol = IngestPolicy(mode="quarantine", max_bad_fraction=0.0)
+        finish_ingest(pol, pol.new_report())  # total_rows == 0
+
+
+class TestReport:
+    def test_counts_and_fractions(self):
+        report = QuarantineReport()
+        report.total_rows = 4
+        report.record(2, DefectClass.BLANK_LINE, "")
+        report.record(3, DefectClass.TRUNCATED_LINE, "1|2")
+        assert report.bad_rows == 2
+        assert report.clean_rows == 2
+        assert report.bad_fraction == pytest.approx(0.5)
+        assert report.as_dict() == {"blank_line": 1, "truncated_line": 1}
+
+    def test_samples_bounded_per_class(self):
+        report = QuarantineReport(max_samples_per_class=2)
+        for i in range(5):
+            report.record(2 + i, DefectClass.BLANK_LINE, "")
+        assert report.count(DefectClass.BLANK_LINE) == 5
+        assert len(report.samples[DefectClass.BLANK_LINE]) == 2
+
+    def test_sample_text_truncated(self):
+        report = QuarantineReport()
+        report.record(2, DefectClass.GARBLED_DELIMITER, "x" * 1000)
+        rec = report.samples[DefectClass.GARBLED_DELIMITER][0]
+        assert isinstance(rec, BadRecord)
+        assert len(rec.text) == SAMPLE_WIDTH
+
+    def test_render_mentions_counts_and_samples(self):
+        report = QuarantineReport()
+        report.total_rows = 3
+        report.record(2, DefectClass.BLANK_LINE, "")
+        report.record(3, DefectClass.BAD_FIELD, "oops|row")
+        text = report.render("RAS")
+        assert "[RAS]" in text
+        assert "blank_line" in text
+        assert "bad_field" in text
+        assert "line 3" in text
+        assert "3 total" in text
+
+    def test_render_clean(self):
+        report = QuarantineReport()
+        report.total_rows = 5
+        assert "no bad records" in report.render()
+
+
+class TestSharedChecks:
+    def test_structural_precedence(self):
+        # encoding damage trumps everything else
+        assert (
+            structural_defect("�|x", 2, 10)
+            is DefectClass.ENCODING_GARBAGE
+        )
+        assert structural_defect("   ", 1, 10) is DefectClass.BLANK_LINE
+        assert structural_defect("a|b", 2, 10) is DefectClass.TRUNCATED_LINE
+        assert (
+            structural_defect("a|b|c", 3, 2) is DefectClass.GARBLED_DELIMITER
+        )
+        assert structural_defect("a|b", 2, 2) is None
+
+    @pytest.mark.parametrize("value,tag,bad", [
+        ("12", "int", False),
+        ("0x1A", "int", True),
+        ("1.5", "float", False),
+        ("1.2.3", "float", True),
+        ("True", "bool", False),
+        ("yes", "bool", True),
+        ("anything", "str", False),
+    ])
+    def test_typed_cell_checks(self, value, tag, bad):
+        defect = typed_cell_defect(value, tag)
+        assert (defect is DefectClass.BAD_FIELD) == bad

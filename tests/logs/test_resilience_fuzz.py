@@ -1,0 +1,239 @@
+"""The corruption fuzz gate: every defect class x every policy.
+
+The contract under test (see DESIGN's Robustness section): for a log
+with injected defects covering the whole taxonomy, quarantine-mode
+ingestion must recover **all** clean rows bit-identical to the
+uncorrupted parse, the report's per-class counts must equal the
+corruptor's ground truth exactly, and the pipeline must still complete
+end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.corruption import (
+    JOB_DEFECT_CLASSES,
+    RAS_DEFECT_CLASSES,
+    LogCorruptor,
+)
+from repro.logs import (
+    IngestAbortError,
+    IngestError,
+    IngestPolicy,
+    JobLog,
+    RasLog,
+    read_job_log,
+    read_ras_log,
+    write_job_log,
+    write_ras_log,
+)
+from repro.logs.quarantine import DefectClass
+
+from tests.logs.test_job import make_job
+from tests.logs.test_ras import make_record
+
+
+@pytest.fixture(scope="module")
+def ras_file(tmp_path_factory):
+    records = [
+        make_record(
+            recid=i,
+            t=1000.0 + 7.0 * i,
+            severity=("FATAL" if i % 11 == 0 else "INFO"),
+        )
+        for i in range(1, 401)
+    ]
+    path = tmp_path_factory.mktemp("fuzz") / "ras.log"
+    write_ras_log(RasLog.from_records(records), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def job_file(tmp_path_factory):
+    jobs = [
+        make_job(job_id=i, start=1000.0 + 60.0 * i, end=1800.0 + 60.0 * i)
+        for i in range(1, 201)
+    ]
+    path = tmp_path_factory.mktemp("fuzz") / "job.log"
+    write_job_log(JobLog.from_records(jobs), path)
+    return path
+
+
+def _corrupt(src, tmp_path, **kw):
+    out = tmp_path / (src.stem + "_bad.log")
+    result = LogCorruptor(**kw).corrupt_file(src, out)
+    return out, result
+
+
+def _assert_clean_rows_bit_identical(clean_log, damaged_log, mask):
+    """Damaged-parse rows == mask-selected clean-parse rows, bitwise."""
+    for col in clean_log.frame.columns:
+        expected = clean_log.frame[col][mask]
+        got = damaged_log.frame[col]
+        assert np.array_equal(expected, got), col
+
+
+class TestFullTaxonomyQuarantine:
+    """The headline gate: <=10% damage over every class, full recovery."""
+
+    @pytest.fixture(scope="class")
+    def parsed(self, ras_file, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("full")
+        bad_path, result = _corrupt(
+            ras_file, tmp, seed=3, rate=0.1, kind="ras"
+        )
+        clean = read_ras_log(ras_file)
+        damaged = read_ras_log(bad_path, policy="quarantine")
+        return result, clean, damaged
+
+    def test_every_class_injected(self, parsed):
+        result, _, _ = parsed
+        assert set(result.ground_truth) == set(RAS_DEFECT_CLASSES)
+
+    def test_counts_match_ground_truth_exactly(self, parsed):
+        result, _, damaged = parsed
+        assert damaged.quarantine is not None
+        assert damaged.quarantine.counts == result.ground_truth
+        assert damaged.quarantine.bad_rows == result.num_injected
+
+    def test_all_clean_rows_recovered_bit_identical(self, parsed):
+        result, clean, damaged = parsed
+        mask = result.clean_row_mask()
+        assert len(damaged) == int(mask.sum())
+        _assert_clean_rows_bit_identical(clean, damaged, mask)
+
+    def test_total_rows_accounted(self, parsed):
+        result, _, damaged = parsed
+        report = damaged.quarantine
+        # inserted duplicates add lines beyond the source rows
+        inserts = sum(
+            1 for inj in result.injected if inj.source_row is None
+        )
+        assert report.total_rows == result.num_source_rows + inserts
+        assert report.clean_rows == len(damaged)
+
+    def test_sample_truncation_under_heavy_damage(self, parsed):
+        _, _, damaged = parsed
+        report = damaged.quarantine
+        for defect, kept in report.samples.items():
+            assert len(kept) <= report.max_samples_per_class
+            if report.counts[defect] > report.max_samples_per_class:
+                assert len(kept) == report.max_samples_per_class
+
+
+class TestPerClassMatrix:
+    """Each defect class alone, under each of the three policies."""
+
+    @pytest.mark.parametrize(
+        "cls", RAS_DEFECT_CLASSES, ids=lambda c: c.value
+    )
+    def test_strict_raises_the_injected_class(
+        self, ras_file, tmp_path, cls
+    ):
+        bad_path, result = _corrupt(
+            ras_file, tmp_path, seed=11, rate=0.02, kind="ras",
+            classes=(cls,),
+        )
+        assert result.num_injected > 0
+        with pytest.raises(IngestError) as exc:
+            read_ras_log(bad_path)  # default strict
+        assert exc.value.defect is cls
+
+    @pytest.mark.parametrize(
+        "cls", RAS_DEFECT_CLASSES, ids=lambda c: c.value
+    )
+    @pytest.mark.parametrize("mode", ["quarantine", "skip"])
+    def test_tolerant_modes_recover_and_count(
+        self, ras_file, tmp_path, cls, mode
+    ):
+        bad_path, result = _corrupt(
+            ras_file, tmp_path, seed=11, rate=0.05, kind="ras",
+            classes=(cls,),
+        )
+        clean = read_ras_log(ras_file)
+        damaged = read_ras_log(bad_path, policy=mode)
+        report = damaged.quarantine
+        assert report.counts == result.ground_truth == {
+            cls: result.num_injected
+        }
+        _assert_clean_rows_bit_identical(
+            clean, damaged, result.clean_row_mask()
+        )
+        if mode == "skip":
+            assert all(not v for v in report.samples.values())
+
+
+class TestAbortThresholds:
+    def test_max_bad_records_aborts_midstream(self, ras_file, tmp_path):
+        bad_path, result = _corrupt(
+            ras_file, tmp_path, seed=5, rate=0.1, kind="ras"
+        )
+        assert result.num_injected > 3
+        policy = IngestPolicy(mode="quarantine", max_bad_records=3)
+        with pytest.raises(IngestAbortError) as exc:
+            read_ras_log(bad_path, policy=policy)
+        assert exc.value.report.bad_rows == 4  # aborts as soon as exceeded
+
+    def test_max_bad_fraction_aborts_at_eof(self, ras_file, tmp_path):
+        bad_path, result = _corrupt(
+            ras_file, tmp_path, seed=5, rate=0.1, kind="ras"
+        )
+        policy = IngestPolicy(mode="quarantine", max_bad_fraction=0.01)
+        with pytest.raises(IngestAbortError, match="max_bad_fraction") as exc:
+            read_ras_log(bad_path, policy=policy)
+        # the whole file was scanned before the fraction check fired
+        assert exc.value.report.bad_rows == result.num_injected
+
+    def test_generous_thresholds_pass(self, ras_file, tmp_path):
+        bad_path, result = _corrupt(
+            ras_file, tmp_path, seed=5, rate=0.1, kind="ras"
+        )
+        policy = IngestPolicy(
+            mode="quarantine",
+            max_bad_records=result.num_injected,
+            max_bad_fraction=0.5,
+        )
+        damaged = read_ras_log(bad_path, policy=policy)
+        assert damaged.quarantine.bad_rows == result.num_injected
+
+
+class TestJobLogFuzz:
+    def test_job_taxonomy_quarantine_recovery(self, job_file, tmp_path):
+        bad_path, result = _corrupt(
+            job_file, tmp_path, seed=9, rate=0.1, kind="job"
+        )
+        assert set(result.ground_truth) == set(JOB_DEFECT_CLASSES)
+        clean = read_job_log(job_file)
+        damaged = read_job_log(bad_path, policy="quarantine")
+        assert damaged.quarantine.counts == result.ground_truth
+        _assert_clean_rows_bit_identical(
+            clean, damaged, result.clean_row_mask()
+        )
+
+    def test_job_strict_raises(self, job_file, tmp_path):
+        bad_path, _ = _corrupt(
+            job_file, tmp_path, seed=9, rate=0.1, kind="job"
+        )
+        with pytest.raises(IngestError):
+            read_job_log(bad_path)
+
+
+class TestEndToEndDegradedPipeline:
+    def test_pipeline_completes_on_corrupted_pair(
+        self, ras_file, job_file, tmp_path
+    ):
+        """Corrupted RAS + job pair still yields a full report."""
+        from repro.core import CoAnalysis
+
+        ras_bad, _ = _corrupt(ras_file, tmp_path, seed=3, rate=0.08,
+                              kind="ras")
+        job_bad, _ = _corrupt(job_file, tmp_path, seed=4, rate=0.08,
+                              kind="job")
+        ras_log = read_ras_log(ras_bad, policy="quarantine")
+        job_log = read_job_log(job_bad, policy="quarantine")
+        result = CoAnalysis().run(ras_log, job_log)
+        text = result.report()
+        assert "CO-ANALYSIS" in text
+        # any degraded study must be disclosed, never silently absent
+        for failure in result.stage_failures:
+            assert failure.stage in text

@@ -43,6 +43,44 @@ class TestChunking:
         with pytest.raises(ValueError, match="header"):
             next(iter_ras_chunks(p))
 
+    def test_bad_header_rejected_under_any_policy(self, tmp_path):
+        # a wrong schema is not a per-record defect; no policy salvages it
+        p = tmp_path / "bad.log"
+        p.write_text("nope:str\nx\n")
+        with pytest.raises(ValueError, match="header"):
+            next(iter_ras_chunks(p, policy="quarantine"))
+
+
+class TestDegenerateFiles:
+    def test_empty_file_yields_typed_empty_chunk(self, tmp_path):
+        p = tmp_path / "empty.log"
+        p.write_text("")
+        chunks = list(iter_ras_chunks(p))
+        assert len(chunks) == 1
+        assert len(chunks[0]) == 0
+        assert chunks[0].frame["event_time"].dtype.kind == "f"
+        assert chunks[0].frame["recid"].dtype.kind == "i"
+
+    def test_header_only_file_yields_typed_empty_chunk(self, tmp_path):
+        full = tmp_path / "full.log"
+        write_ras_log(RasLog.from_records([make_record()]), full)
+        header = full.read_text().split("\n")[0]
+        p = tmp_path / "header_only.log"
+        p.write_text(header + "\n")
+        chunks = list(iter_ras_chunks(p))
+        assert len(chunks) == 1
+        assert len(chunks[0]) == 0
+        assert chunks[0].frame["recid"].dtype.kind == "i"
+
+    def test_empty_file_reads_as_empty_log(self, tmp_path):
+        from repro.logs import read_ras_log
+
+        p = tmp_path / "empty.log"
+        p.write_text("")
+        log = read_ras_log(p)
+        assert len(log) == 0
+        assert log.frame["event_time"].dtype.kind == "f"
+
 
 class TestScans:
     def test_severity_counts_match_full_load(self, big_log):

@@ -64,6 +64,42 @@ class TestJobRoundTrip:
         assert list(back.frame["executable"]) == list(log.frame["executable"])
 
 
+class TestForeignPlatformArtifacts:
+    """Logs exported on other platforms carry BOMs and CRLF endings."""
+
+    def test_ras_utf8_bom_tolerated(self, tmp_path):
+        log = RasLog.from_records(
+            [make_record(recid=i, t=100.0 + i) for i in range(3)]
+        )
+        p = tmp_path / "ras.log"
+        write_ras_log(log, p)
+        p.write_bytes(b"\xef\xbb\xbf" + p.read_bytes())
+        back = read_ras_log(p)
+        assert list(back.frame["recid"]) == [0, 1, 2]
+
+    def test_ras_crlf_tolerated(self, tmp_path):
+        log = RasLog.from_records(
+            [make_record(recid=i, t=100.0 + i) for i in range(3)]
+        )
+        p = tmp_path / "ras.log"
+        write_ras_log(log, p)
+        p.write_bytes(p.read_bytes().replace(b"\n", b"\r\n"))
+        back = read_ras_log(p)
+        assert len(back) == 3
+        assert back.frame["event_time"][2] == pytest.approx(102.0, abs=1e-6)
+
+    def test_job_bom_and_crlf_tolerated(self, tmp_path):
+        log = JobLog.from_records([make_job(job_id=i) for i in range(1, 4)])
+        p = tmp_path / "job.log"
+        write_job_log(log, p)
+        p.write_bytes(
+            b"\xef\xbb\xbf" + p.read_bytes().replace(b"\n", b"\r\n")
+        )
+        back = read_job_log(p)
+        assert back.num_jobs == 3
+        assert list(back.frame["executable"]) == list(log.frame["executable"])
+
+
 class TestCards:
     def test_ras_card_mentions_all_fields(self):
         log = RasLog.from_records([make_record()])

@@ -75,6 +75,63 @@ class TestParser:
             build_parser().parse_args(["demo", f"{flag}=-10"])
         assert "non-negative" in capsys.readouterr().err
 
+    def test_ingest_defaults_strict(self):
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log"]
+        )
+        assert args.on_bad_record == "strict"
+        assert args.max_bad_records is None
+        assert args.max_bad_fraction is None
+
+    def test_ingest_overrides(self):
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log",
+             "--on-bad-record", "quarantine", "--max-bad-records", "100",
+             "--max-bad-fraction", "0.25"]
+        )
+        assert args.on_bad_record == "quarantine"
+        assert args.max_bad_records == 100
+        assert args.max_bad_fraction == 0.25
+
+    def test_bad_ingest_mode_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--ras", "a", "--job", "b",
+                 "--on-bad-record", "lenient"]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_negative_max_bad_records_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--ras", "a", "--job", "b",
+                 "--max-bad-records=-1"]
+            )
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_bad_fraction_out_of_range_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "--ras", "a", "--job", "b",
+                 "--max-bad-fraction", "1.5"]
+            )
+        assert "[0, 1]" in capsys.readouterr().err
+
+    def test_corrupt_args(self):
+        args = build_parser().parse_args(
+            ["corrupt", "--src", "a.log", "--out", "b.log"]
+        )
+        assert args.command == "corrupt"
+        assert args.rate == 0.05
+        assert args.kind == "ras"
+
+    def test_corrupt_bad_rate_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["corrupt", "--src", "a", "--out", "b", "--rate", "2"]
+            )
+        assert "[0, 1]" in capsys.readouterr().err
+
 
 class TestEndToEnd:
     def test_simulate_then_analyze(self, tmp_path, capsys):
@@ -129,3 +186,65 @@ class TestEndToEnd:
         )
         assert rc == 0
         assert "CO-ANALYSIS" in capsys.readouterr().out
+
+
+class TestResilienceEndToEnd:
+    @pytest.fixture(scope="class")
+    def corrupted(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli_fuzz")
+        assert main(
+            ["simulate", "--out-dir", str(tmp), "--scale", "0.01",
+             "--seed", "5"]
+        ) == 0
+        assert main(
+            ["corrupt", "--src", str(tmp / "ras.log"),
+             "--out", str(tmp / "ras_bad.log"), "--rate", "0.05",
+             "--seed", "1"]
+        ) == 0
+        return tmp
+
+    def test_corrupt_prints_ground_truth(self, corrupted, capsys):
+        rc = main(
+            ["corrupt", "--src", str(corrupted / "ras.log"),
+             "--out", str(corrupted / "ras_bad2.log"), "--rate", "0.02",
+             "--seed", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "defects injected" in out
+        assert "blank_line" in out
+
+    def test_strict_analyze_exits_2_with_hint(self, corrupted, capsys):
+        rc = main(
+            ["analyze", "--ras", str(corrupted / "ras_bad.log"),
+             "--job", str(corrupted / "job.log")]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "rejected a bad record" in err
+        assert "--on-bad-record quarantine" in err
+
+    def test_quarantine_analyze_completes_with_report(
+        self, corrupted, capsys
+    ):
+        rc = main(
+            ["analyze", "--ras", str(corrupted / "ras_bad.log"),
+             "--job", str(corrupted / "job.log"),
+             "--on-bad-record", "quarantine"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CO-ANALYSIS" in out
+        assert "quarantine report [RAS]" in out
+        assert "quarantine report [job]" in out
+
+    def test_abort_threshold_exits_2(self, corrupted, capsys):
+        rc = main(
+            ["analyze", "--ras", str(corrupted / "ras_bad.log"),
+             "--job", str(corrupted / "job.log"),
+             "--on-bad-record", "quarantine", "--max-bad-records", "3"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "ingestion aborted" in err
+        assert "max_bad_records" in err
