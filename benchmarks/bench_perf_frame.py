@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.frame import Frame
+from repro.frame.io import write_delimited
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +55,13 @@ def test_perf_groupby_int_sum_500k(benchmark, big_frame):
         big_frame,
     )
     assert out.col("total_size").dtype == np.int64
+
+
+def test_perf_write_delimited_500k(benchmark, big_frame, tmp_path):
+    """Batched column-join writer; was a per-row format loop."""
+    path = tmp_path / "big.txt"
+    benchmark(write_delimited, big_frame, path)
+    assert path.stat().st_size > 0
 
 
 def test_perf_join_500k_x_236(benchmark, big_frame):

@@ -1,0 +1,152 @@
+"""Performance: chunk-parallel ingestion and the parse cache.
+
+Two hard gates on a 10× synthetic RAS log (120k rows): parsing with 4
+workers must be at least 2× faster than 1 worker (skipped on hosts with
+fewer than 4 available CPUs — a 1-core container cannot express the
+speedup), and a warm-cache rerun must finish in under 10% of the cold
+parse while returning a bit-identical log. A third test pins the
+bit-identical guarantee itself at scale, on a corrupted file, so the
+speed never drifts away from correctness.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.corruption import LogCorruptor
+from repro.frame import Frame
+from repro.logs.ras import RAS_COLUMNS, RasLog
+from repro.logs.textio import read_ras_log, write_ras_log
+from repro.parallel import ParseCache, effective_cpu_count
+
+from benchmarks.conftest import banner
+
+BASE_ROWS = 12_000
+SCALE = 10
+
+
+def make_ras_log(n: int, seed: int = 2011) -> RasLog:
+    """A clean n-row RAS log with valid vocabulary and ordered times."""
+    rng = np.random.default_rng(seed)
+    sev = np.array(["INFO", "WARN", "ERROR", "FATAL"], dtype=object)
+    comp = np.array(["KERNEL", "MMCS", "CARD", "MC"], dtype=object)
+    data = {
+        "recid": np.arange(1, n + 1, dtype=np.int64),
+        "msg_id": np.array([f"KERN_{i % 97:04d}" for i in range(n)], dtype=object),
+        "component": comp[rng.integers(0, len(comp), n)],
+        "subcomponent": np.array([f"sub{i % 11}" for i in range(n)], dtype=object),
+        "errcode": np.array([f"_bgp_err_{i % 23}" for i in range(n)], dtype=object),
+        "severity": sev[rng.integers(0, len(sev), n)],
+        "event_time": np.cumsum(rng.random(n) * 3.0) + 1.2e9,
+        "location": np.array([f"R{i % 40:02d}-M{i % 2}" for i in range(n)], dtype=object),
+        "serialnumber": np.array([f"SN{i:08d}" for i in range(n)], dtype=object),
+        "message": np.array(
+            [
+                f"ddr correctable error | rank {i % 8}" if i % 50 == 0
+                else f"machine check interrupt {i}"
+                for i in range(n)
+            ],
+            dtype=object,
+        ),
+    }
+    return RasLog(Frame({c: data[c] for c in RAS_COLUMNS}))
+
+
+@pytest.fixture(scope="module")
+def big_ras_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("parallel") / "ras_10x.log"
+    write_ras_log(make_ras_log(BASE_ROWS * SCALE), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def corrupted_big_file(big_ras_file, tmp_path_factory):
+    out = tmp_path_factory.mktemp("parallel") / "ras_10x_bad.log"
+    LogCorruptor(seed=3, rate=0.03).corrupt_file(big_ras_file, out)
+    return out
+
+
+def _logs_identical(a: RasLog, b: RasLog) -> None:
+    assert a.frame.columns == b.frame.columns
+    for col in a.frame.columns:
+        x, y = a.frame[col], b.frame[col]
+        assert x.dtype == y.dtype, col
+        assert np.array_equal(x, y), col
+    ra, rb = a.quarantine, b.quarantine
+    assert (ra is None) == (rb is None)
+    if ra is not None:
+        assert ra.total_rows == rb.total_rows
+        assert ra.as_dict() == rb.as_dict()
+        for defect, recs in ra.samples.items():
+            got = rb.samples.get(defect, [])
+            assert [(r.line_no, r.text) for r in recs] == [
+                (r.line_no, r.text) for r in got
+            ]
+
+
+def _best(fn, rounds: int = 2) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.skipif(
+    effective_cpu_count() < 4,
+    reason="speedup gate needs >= 4 available CPUs",
+)
+def test_gate_parallel_speedup_4x(big_ras_file):
+    """Hard gate: 4 workers parse the 10× log >= 2× faster than 1."""
+    banner("parallel ingestion: 4-worker speedup gate")
+    t1 = _best(
+        lambda: read_ras_log(big_ras_file, policy="quarantine", workers=1)
+    )
+    t4 = _best(
+        lambda: read_ras_log(big_ras_file, policy="quarantine", workers=4)
+    )
+    print(
+        f"serial {t1 * 1e3:.0f}ms vs 4-worker {t4 * 1e3:.0f}ms"
+        f" -> {t1 / t4:.2f}x speedup on {BASE_ROWS * SCALE} rows"
+    )
+    assert t1 / t4 >= 2.0
+
+
+def test_gate_warm_cache_under_10pct(big_ras_file, tmp_path):
+    """Hard gate: a warm-cache rerun costs < 10% of the cold parse."""
+    banner("parallel ingestion: warm-cache gate")
+    cache = ParseCache(tmp_path / "cache")
+    t0 = time.perf_counter()
+    cold = read_ras_log(big_ras_file, policy="quarantine", cache=cache)
+    t_cold = time.perf_counter() - t0
+    assert cold.cache_status == "miss"
+    t_warm = _best(
+        lambda: read_ras_log(big_ras_file, policy="quarantine", cache=cache)
+    )
+    warm = read_ras_log(big_ras_file, policy="quarantine", cache=cache)
+    assert warm.cache_status == "hit"
+    _logs_identical(cold, warm)
+    print(
+        f"cold {t_cold * 1e3:.0f}ms vs warm {t_warm * 1e3:.0f}ms"
+        f" -> {100.0 * t_warm / t_cold:.1f}% of cold"
+    )
+    assert t_warm < 0.10 * t_cold
+
+
+def test_parallel_identical_at_scale(corrupted_big_file):
+    """Bit-identical output, 1 vs 4 workers, on a damaged 10× log."""
+    serial = read_ras_log(corrupted_big_file, policy="quarantine", workers=1)
+    parallel = read_ras_log(
+        corrupted_big_file, policy="quarantine", workers=4
+    )
+    assert serial.quarantine.bad_rows > 0
+    _logs_identical(serial, parallel)
+
+
+def test_perf_read_parallel_auto(benchmark, big_ras_file):
+    log = benchmark(
+        read_ras_log, big_ras_file, policy="quarantine", workers=0
+    )
+    assert len(log) == BASE_ROWS * SCALE

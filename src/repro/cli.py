@@ -5,8 +5,9 @@ Four subcommands::
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
     repro-coanalysis analyze --ras traces/ras.log --job traces/job.log \
-        [--on-bad-record {strict,quarantine,skip}] [--max-bad-records N]
-    repro-coanalysis demo [--scale 0.1]
+        [--on-bad-record {strict,quarantine,skip}] [--max-bad-records N] \
+        [--workers N] [--cache-dir DIR] [--no-cache]
+    repro-coanalysis demo [--scale 0.1] [--workers N]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
 Table II / Table III field layout; ``corrupt`` injects the cataloged
@@ -21,6 +22,7 @@ aborts on a damaged log.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -119,6 +121,37 @@ def _nonneg_int_arg(text: str) -> int:
     return value
 
 
+def _workers_arg(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be non-negative, got {text}"
+        )
+    return value
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N",
+        help="parallelism for ingestion chunks and downstream studies: "
+             "0 = one per available CPU, 1 = serial (default); output "
+             "is bit-identical at any width",
+    )
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR",
+        help="content-addressed parse cache directory: reruns over "
+             "unchanged logs skip parsing (default $REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the parse cache even when --cache-dir is set",
+    )
+
+
 def _add_ingest_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--on-bad-record", choices=INGEST_MODES, default="strict",
@@ -148,7 +181,9 @@ def _ingest_policy(args: argparse.Namespace) -> IngestPolicy:
     )
 
 
-def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
+def _run_analysis(
+    args: argparse.Namespace, ras_log, job_log, extra_timings=()
+) -> int:
     analysis = CoAnalysis(
         filters=FilterChain(
             temporal=TemporalFilter(threshold=args.temporal_threshold),
@@ -156,6 +191,7 @@ def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
             causal=CausalityFilter(window=args.causal_window),
         ),
         matcher=InterruptionMatcher(tolerance=args.tolerance),
+        study_workers=getattr(args, "workers", 1),
     )
     result = analysis.run(ras_log, job_log)
     print(result.report())
@@ -166,7 +202,10 @@ def _run_analysis(args: argparse.Namespace, ras_log, job_log) -> int:
             print(report.render(label))
     if args.timings:
         print()
-        print(render_timings(result.timings, title="stage timings (full)"))
+        print(render_timings(
+            tuple(extra_timings) + result.timings,
+            title="stage timings (full)",
+        ))
     return 0
 
 
@@ -188,11 +227,38 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_note(log, workers: int) -> str:
+    status = getattr(log, "cache_status", None)
+    if status is not None:
+        return f"cache {status}"
+    if workers != 1:
+        return f"{workers or 'auto'} workers"
+    return ""
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.perf import StageTimer
+
     policy = _ingest_policy(args)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from repro.parallel import ParseCache
+
+        cache = ParseCache(args.cache_dir)
+    timer = StageTimer()
     try:
-        ras_log = read_ras_log(args.ras, policy=policy)
-        job_log = read_job_log(args.job, policy=policy)
+        with timer.stage("ingest.ras") as st:
+            ras_log = read_ras_log(
+                args.ras, policy=policy, workers=args.workers, cache=cache
+            )
+            st.rows = len(ras_log)
+            st.note = _ingest_note(ras_log, args.workers)
+        with timer.stage("ingest.job") as st:
+            job_log = read_job_log(
+                args.job, policy=policy, workers=args.workers, cache=cache
+            )
+            st.rows = job_log.num_jobs
+            st.note = _ingest_note(job_log, args.workers)
     except IngestAbortError as exc:
         print(f"ingestion aborted: {exc}", file=sys.stderr)
         print(exc.report.render(), file=sys.stderr)
@@ -205,7 +271,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    return _run_analysis(args, ras_log, job_log)
+    if cache is not None:
+        print(
+            f"parse cache: ras={ras_log.cache_status}"
+            f" job={job_log.cache_status}"
+        )
+    return _run_analysis(args, ras_log, job_log, extra_timings=timer.timings)
 
 
 def cmd_corrupt(args: argparse.Namespace) -> int:
@@ -262,11 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--job", required=True)
     _add_analysis_args(p_an)
     _add_ingest_args(p_an)
+    _add_workers_arg(p_an)
+    _add_cache_args(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="simulate + analyze in memory")
     _add_profile_args(p_demo)
     _add_analysis_args(p_demo)
+    _add_workers_arg(p_demo)
     p_demo.set_defaults(func=cmd_demo)
     return parser
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -157,6 +158,12 @@ class CoAnalysis:
     #: recorded as a StageFailure and the run completes degraded; off
     #: restores fail-fast semantics for debugging
     error_boundaries: bool = True
+    #: thread-pool width for the independent downstream studies: 0 = one
+    #: per available CPU, 1 = serial. Concurrency engages only with
+    #: error boundaries on (fail-fast must raise in serial order), and
+    #: results, failures and timings come back in the canonical serial
+    #: order either way
+    study_workers: int = 0
 
     def run(self, ras_log: RasLog, job_log: JobLog) -> CoAnalysisResult:
         """Run the full co-analysis over one (RAS log, job log) pair."""
@@ -225,52 +232,28 @@ class CoAnalysis:
                 ),
                 fallback=_empty_categorized(match.interruptions),
             )
-
-            interarrivals = guarded(
-                "studies.interarrivals",
-                lambda: interarrival_study(events_filtered, events_final),
-            )
-            mtbf = (
-                interarrivals.after.weibull.mean
-                if interarrivals is not None and interarrivals.after is not None
-                else float("nan")
-            )
-            rates = guarded(
-                "studies.rates",
-                lambda: interruption_rate_study(interruptions, mtbf=mtbf),
-            )
-            profile = guarded(
-                "studies.midplane_profile",
-                lambda: midplane_profile(events_final, job_log),
-            )
-            if profile is not None:
-                skew = guarded("studies.skew", lambda: midplane_skew(profile))
-            else:
-                skew = None
-                failures.append(
-                    StageFailure(
-                        "studies.skew",
-                        "Skipped",
-                        "input stage studies.midplane_profile degraded",
-                    )
-                )
-
             t_start, duration = _window(ras_log, job_log)
-            bursts = guarded(
-                "studies.bursts",
-                lambda: burst_study(interruptions, t_start, duration),
+            studies, workers_used = self._run_studies(
+                events_filtered=events_filtered,
+                events_final=events_final,
+                job_log=job_log,
+                match=match,
+                interruptions=interruptions,
+                t_start=t_start,
+                duration=duration,
+                failures=failures,
+                timer=timer,
             )
-            propagation = guarded(
-                "studies.propagation",
-                lambda: propagation_study(match.pairs, len(events_filtered)),
-            )
-            vulnerability = guarded(
-                "studies.vulnerability",
-                lambda: vulnerability_study(
-                    job_log, interruptions, events_final
-                ),
-            )
+            interarrivals = studies["interarrivals"]
+            rates = studies["rates"]
+            profile = studies["midplane_profile"]
+            skew = studies["skew"]
+            bursts = studies["bursts"]
+            propagation = studies["propagation"]
+            vulnerability = studies["vulnerability"]
             st.rows = interruptions.num_rows
+            if workers_used > 1:
+                st.note = f"{workers_used} workers"
 
         result = CoAnalysisResult(
             filter_stats=self.filters.stats,
@@ -307,6 +290,135 @@ class CoAnalysis:
                 result.stage_failures = tuple(failures)
         result.timings = timer.timings
         return result
+
+    # ------------------------------------------------------------------
+
+    def _run_studies(
+        self,
+        *,
+        events_filtered,
+        events_final,
+        job_log,
+        match,
+        interruptions,
+        t_start,
+        duration,
+        failures,
+        timer,
+    ) -> tuple[dict, int]:
+        """Run the seven downstream studies, concurrently when allowed.
+
+        The studies fall into two dependency waves: five are mutually
+        independent (interarrivals, midplane profile, bursts,
+        propagation, vulnerability) and two consume a wave-one product
+        (rates needs interarrivals' MTBF, skew needs the profile). With
+        ``study_workers`` > 1 and error boundaries on, wave one runs on
+        a thread pool; either way the failure list and the per-study
+        ``studies.<name>`` timings are assembled in the canonical serial
+        order, so degraded reports are deterministic regardless of
+        thread scheduling.
+        """
+        wave1 = [
+            (
+                "interarrivals",
+                lambda: interarrival_study(events_filtered, events_final),
+            ),
+            (
+                "midplane_profile",
+                lambda: midplane_profile(events_final, job_log),
+            ),
+            (
+                "bursts",
+                lambda: burst_study(interruptions, t_start, duration),
+            ),
+            (
+                "propagation",
+                lambda: propagation_study(match.pairs, len(events_filtered)),
+            ),
+            (
+                "vulnerability",
+                lambda: vulnerability_study(
+                    job_log, interruptions, events_final
+                ),
+            ),
+        ]
+
+        def attempt(fn):
+            t0 = perf_counter()
+            try:
+                return fn(), None, perf_counter() - t0
+            except Exception as exc:  # noqa: BLE001 - boundary's job
+                if not self.error_boundaries:
+                    raise
+                return None, exc, perf_counter() - t0
+
+        from repro.parallel.ingest import resolve_workers
+
+        n = resolve_workers(self.study_workers)
+        concurrent = self.error_boundaries and n > 1
+        outcomes: dict[str, tuple] = {}
+        if concurrent:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=min(n, len(wave1))) as pool:
+                futures = [
+                    (name, pool.submit(attempt, fn)) for name, fn in wave1
+                ]
+                outcomes = {name: fut.result() for name, fut in futures}
+        else:
+            for name, fn in wave1:
+                outcomes[name] = attempt(fn)
+
+        # wave two: cheap follow-ons fed by wave-one products
+        interarrivals = outcomes["interarrivals"][0]
+        mtbf = (
+            interarrivals.after.weibull.mean
+            if interarrivals is not None and interarrivals.after is not None
+            else float("nan")
+        )
+        outcomes["rates"] = attempt(
+            lambda: interruption_rate_study(interruptions, mtbf=mtbf)
+        )
+        profile = outcomes["midplane_profile"][0]
+        if profile is not None:
+            outcomes["skew"] = attempt(lambda: midplane_skew(profile))
+        else:
+            outcomes["skew"] = None  # skipped, not failed
+
+        studies: dict[str, object] = {}
+        order = (
+            "interarrivals",
+            "rates",
+            "midplane_profile",
+            "skew",
+            "bursts",
+            "propagation",
+            "vulnerability",
+        )
+        for name in order:
+            outcome = outcomes[name]
+            if outcome is None:  # skew skipped on degraded profile
+                studies[name] = None
+                failures.append(
+                    StageFailure(
+                        "studies.skew",
+                        "Skipped",
+                        "input stage studies.midplane_profile degraded",
+                    )
+                )
+                continue
+            result, exc, wall = outcome
+            if exc is not None:
+                failures.append(
+                    StageFailure(
+                        f"studies.{name}",
+                        type(exc).__name__,
+                        str(exc) or repr(exc),
+                    )
+                )
+            studies[name] = result
+            timer.record(f"studies.{name}", wall)
+        return studies, (n if concurrent else 1)
 
 
 def _empty_categorized(interruptions: Frame) -> Frame:

@@ -73,16 +73,17 @@ class RasRowCursor:
             self.max_time = event_time
 
 
-def classify_ras_line(
-    text: str, cursor: RasRowCursor, sep: str = "|"
+def classify_ras_fields(
+    text: str, sep: str = "|"
 ) -> tuple[DefectClass | None, tuple[list[str], int, float] | None]:
-    """Classify one data line against the defect taxonomy.
+    """The context-free part of RAS line classification.
 
-    Returns ``(None, (cells, recid, event_time))`` for a clean line —
-    the caller must then :meth:`RasRowCursor.accept` it — or
-    ``(defect, None)`` for a bad one. Cross-record checks compare
-    against *accepted* rows only, so one quarantined line never
-    cascades into false positives on its neighbours.
+    Covers every check that needs only the line itself (structure,
+    typed fields, vocabulary) — everything except the cross-record
+    duplicate-recid and time-order checks, which need a
+    :class:`RasRowCursor`. Chunk-parallel ingestion
+    (:mod:`repro.parallel`) runs this in workers and replays the
+    cross-record checks at merge time.
     """
     parts = text.split(sep)
     defect = structural_defect(text, len(parts), len(_DISK_COLUMNS))
@@ -103,6 +104,24 @@ def classify_ras_line(
         return DefectClass.UNKNOWN_COMPONENT, None
     if not _ERRCODE_RE.match(cells[_ERRCODE_IDX]):
         return DefectClass.UNKNOWN_ERRCODE, None
+    return None, (cells, recid, event_time)
+
+
+def classify_ras_line(
+    text: str, cursor: RasRowCursor, sep: str = "|"
+) -> tuple[DefectClass | None, tuple[list[str], int, float] | None]:
+    """Classify one data line against the defect taxonomy.
+
+    Returns ``(None, (cells, recid, event_time))`` for a clean line —
+    the caller must then :meth:`RasRowCursor.accept` it — or
+    ``(defect, None)`` for a bad one. Cross-record checks compare
+    against *accepted* rows only, so one quarantined line never
+    cascades into false positives on its neighbours.
+    """
+    defect, parsed = classify_ras_fields(text, sep)
+    if defect is not None:
+        return defect, None
+    cells, recid, event_time = parsed
     if recid in cursor.seen_recids:
         return DefectClass.DUPLICATE_RECID, None
     if event_time < cursor.max_time:

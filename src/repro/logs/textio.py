@@ -48,14 +48,22 @@ def write_ras_log(log: RasLog, path: str | Path) -> None:
 
 
 def read_ras_log(
-    path: str | Path, policy: IngestPolicy | str | None = None
+    path: str | Path,
+    policy: IngestPolicy | str | None = None,
+    workers: int = 1,
+    cache: "ParseCache | None" = None,
 ) -> RasLog:
     """Read a RAS log written by :func:`write_ras_log`.
 
     *policy* selects the strictness mode (see
     :mod:`repro.logs.quarantine`); with a non-strict policy the returned
     log carries the :class:`~repro.logs.quarantine.QuarantineReport` on
-    its ``quarantine`` attribute.
+    its ``quarantine`` attribute. *workers* > 1 parses byte-range chunks
+    in parallel (0 = one per available CPU) with bit-identical output;
+    *cache* consults a :class:`~repro.parallel.cache.ParseCache` first
+    and stores successful parses for reruns. The ``cache_status``
+    attribute of the result reports ``"hit"`` / ``"miss"`` (``None``
+    when no cache is in play).
     """
     from repro.frame import concat
     from repro.logs.ras import empty_ras_log
@@ -63,13 +71,40 @@ def read_ras_log(
 
     pol = coerce_policy(policy)
     report = pol.new_report(str(path))
-    frames = [
-        chunk.frame
-        for chunk in iter_ras_chunks(path, policy=pol, report=report)
-        if chunk.frame.num_rows
-    ]
-    log = RasLog(concat(frames)) if frames else empty_ras_log()
+
+    key = None
+    if cache is not None:
+        from repro.parallel.cache import apply_report_state
+
+        key = cache.key_for(path, kind="ras", policy=pol)
+        hit = cache.load(key)
+        if hit is not None:
+            frame, state = hit
+            if state is not None:
+                apply_report_state(report, state)
+            log = RasLog(frame) if frame.num_rows else empty_ras_log()
+            log.quarantine = None if pol.is_strict else report
+            log.cache_status = "hit"
+            return log
+
+    from repro.parallel.ingest import parallel_read_ras_frame, resolve_workers
+
+    if resolve_workers(workers) > 1:
+        frame = parallel_read_ras_frame(
+            path, policy=pol, report=report, workers=workers
+        )
+        log = RasLog(frame) if frame.num_rows else empty_ras_log()
+    else:
+        frames = [
+            chunk.frame
+            for chunk in iter_ras_chunks(path, policy=pol, report=report)
+            if chunk.frame.num_rows
+        ]
+        log = RasLog(concat(frames)) if frames else empty_ras_log()
     log.quarantine = None if pol.is_strict else report
+    log.cache_status = None if cache is None else "miss"
+    if key is not None:
+        cache.store(key, log.frame, report)
     return log
 
 
@@ -79,18 +114,49 @@ def write_job_log(log: JobLog, path: str | Path) -> None:
 
 
 def read_job_log(
-    path: str | Path, policy: IngestPolicy | str | None = None
+    path: str | Path,
+    policy: IngestPolicy | str | None = None,
+    workers: int = 1,
+    cache: "ParseCache | None" = None,
 ) -> JobLog:
     """Read a job log written by :func:`write_job_log`.
 
     Job-log damage is structural/typed only (blank, truncated, garbled,
     encoding garbage, unparseable numeric cells); the defect taxonomy
-    and policy semantics match the RAS reader's.
+    and policy semantics match the RAS reader's. *workers* and *cache*
+    behave as in :func:`read_ras_log`.
     """
     pol = coerce_policy(policy)
     report = pol.new_report(str(path))
-    log = JobLog(read_delimited(path, policy=pol, report=report))
+
+    key = None
+    if cache is not None:
+        from repro.parallel.cache import apply_report_state
+
+        key = cache.key_for(path, kind="job", policy=pol)
+        hit = cache.load(key)
+        if hit is not None:
+            frame, state = hit
+            if state is not None:
+                apply_report_state(report, state)
+            log = JobLog(frame)
+            log.quarantine = None if pol.is_strict else report
+            log.cache_status = "hit"
+            return log
+
+    from repro.parallel.ingest import parallel_read_delimited, resolve_workers
+
+    if resolve_workers(workers) > 1:
+        frame = parallel_read_delimited(
+            path, policy=pol, report=report, workers=workers
+        )
+    else:
+        frame = read_delimited(path, policy=pol, report=report)
+    log = JobLog(frame)
     log.quarantine = None if pol.is_strict else report
+    log.cache_status = None if cache is None else "miss"
+    if key is not None:
+        cache.store(key, log.frame, report)
     return log
 
 

@@ -1,0 +1,211 @@
+"""Deterministic merge of per-chunk parse results.
+
+The merge restores exactly the serial reader's observable behaviour
+from chunk-local worker output, for every ingest policy:
+
+* **global line numbers** — each chunk's local indices are offset by the
+  cumulative line count of the chunks before it (the header is line 1,
+  the first data line is line 2, as in the serial readers);
+* **cross-record checks** — the duplicate-recid / out-of-order verdicts
+  depend on which earlier rows were *accepted*, so they are replayed
+  over the merged candidate stream. A vectorized fast path accepts
+  everything when no recid repeats and times never decrease (the clean
+  log case); otherwise a cursor loop re-runs the serial acceptance
+  semantics from the first violation on;
+* **policy replay** — all defects (context-free ones from the workers
+  plus cross-record ones from the replay) are routed through
+  :func:`~repro.logs.quarantine.handle_bad_record` in global line
+  order, with the report's running ``total_rows`` reconstructed at
+  every step, so strict raises, quarantine samples, mid-stream
+  ``max_bad_records`` aborts and end-of-file ``max_bad_fraction``
+  checks all fire exactly where the serial parse would fire them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.frame import Frame
+from repro.frame.column import first_occurrence_mask
+from repro.logs.quarantine import (
+    DefectClass,
+    IngestPolicy,
+    QuarantineReport,
+    finish_ingest,
+    handle_bad_record,
+)
+from repro.parallel.workers import DelimChunk, RasChunk
+
+__all__ = ["merge_ras_chunks", "merge_delim_chunks", "replay_cross_record"]
+
+#: first data line of a file is physical line 2 (the header is line 1)
+_FIRST_DATA_LINE = 2
+
+
+def replay_cross_record(
+    recids: np.ndarray, times: np.ndarray
+) -> tuple[np.ndarray, list[tuple[int, DefectClass]]]:
+    """Serial acceptance verdicts for the merged candidate stream.
+
+    Returns ``(accepted_mask, defects)`` where *defects* lists
+    ``(candidate_index, defect)`` for rejected candidates. Matches
+    :class:`repro.logs.stream.RasRowCursor` semantics exactly: a row is
+    a duplicate iff its recid was *accepted* earlier, out-of-order iff
+    its time precedes the max *accepted* time, and rejected rows never
+    advance the cursor. The duplicate check outranks the order check.
+    """
+    n = len(recids)
+    accepted = np.ones(n, dtype=bool)
+    if n == 0:
+        return accepted, []
+    # fast path: no repeated recid and no time regression anywhere means
+    # every row is accepted — and up to the first naive violation the
+    # naive and serial states coincide, so the replay can start there
+    dup_naive = ~first_occurrence_mask(recids)
+    prev_max = np.empty(n, dtype=np.float64)
+    prev_max[0] = -np.inf
+    np.maximum.accumulate(times[:-1], out=prev_max[1:])
+    violation = dup_naive | (times < prev_max)
+    if not violation.any():
+        return accepted, []
+    start = int(np.argmax(violation))
+    seen = set(recids[:start].tolist())
+    max_time = float(times[:start].max()) if start else float("-inf")
+    defects: list[tuple[int, DefectClass]] = []
+    for i in range(start, n):
+        recid = int(recids[i])
+        event_time = float(times[i])
+        if recid in seen:
+            accepted[i] = False
+            defects.append((i, DefectClass.DUPLICATE_RECID))
+        elif event_time < max_time:
+            accepted[i] = False
+            defects.append((i, DefectClass.OUT_OF_ORDER_TIME))
+        else:
+            seen.add(recid)
+            if event_time > max_time:
+                max_time = event_time
+    return accepted, defects
+
+
+def _line_bases(chunk_lines: list[int]) -> list[int]:
+    """Global line number of each chunk's first data line."""
+    bases = []
+    base = _FIRST_DATA_LINE
+    for n in chunk_lines:
+        bases.append(base)
+        base += n
+    return bases
+
+
+def _replay_policy(
+    defects: list[tuple[int, DefectClass, str]],
+    total_lines: int,
+    policy: IngestPolicy,
+    report: QuarantineReport,
+) -> None:
+    """Route merged defects through the policy in global line order.
+
+    ``report.total_rows`` is reconstructed to the serial parser's
+    running value before each defect is handled, so a strict raise or a
+    ``max_bad_records`` abort leaves the report in the exact state the
+    serial parse would have left it; afterwards the full line count is
+    restored and the end-of-file fraction check runs.
+    """
+    base_total = report.total_rows
+    for line_no, defect, sample in defects:
+        report.total_rows = base_total + (line_no - _FIRST_DATA_LINE) + 1
+        handle_bad_record(policy, report, line_no, defect, sample)
+    report.total_rows = base_total + total_lines
+    finish_ingest(policy, report)
+
+
+def merge_ras_chunks(
+    chunks: list[RasChunk], policy: IngestPolicy, report: QuarantineReport
+) -> Frame:
+    """Merge parsed RAS chunks into one disk-layout frame.
+
+    Output is bit-identical to the serial streaming parse: same row
+    order, same dtypes, same quarantine report (or the same raise).
+    """
+    bases = _line_bases([c.n_lines for c in chunks])
+    total_lines = sum(c.n_lines for c in chunks)
+
+    recids = (
+        np.concatenate([c.cand_recids for c in chunks])
+        if chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    times = (
+        np.concatenate([c.cand_times for c in chunks])
+        if chunks
+        else np.empty(0, dtype=np.float64)
+    )
+    cand_lines = (
+        np.concatenate([base + c.cand_lines for base, c in zip(bases, chunks)])
+        if chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    accepted, cross = replay_cross_record(recids, times)
+
+    defects: list[tuple[int, DefectClass, str]] = []
+    for base, chunk in zip(bases, chunks):
+        defects.extend(
+            (base + idx, defect, sample)
+            for idx, defect, sample in chunk.defects
+        )
+    if cross:
+        samples = [s for c in chunks for s in c.cand_samples]
+        defects.extend(
+            (int(cand_lines[i]), defect, samples[i]) for i, defect in cross
+        )
+        defects.sort(key=lambda d: d[0])
+    _replay_policy(defects, total_lines, policy, report)
+
+    cols = [
+        np.array(
+            [v for c in chunks for v in c.cand_cols[j]], dtype=object
+        )[accepted]
+        for j in range(10)
+    ]
+    data = {
+        "recid": recids[accepted],
+        "msg_id": cols[1],
+        "component": cols[2],
+        "subcomponent": cols[3],
+        "errcode": cols[4],
+        "severity": cols[5],
+        "event_time": times[accepted],
+        "location": cols[7],
+        "serialnumber": cols[8],
+        "message": cols[9],
+    }
+    from repro.logs.ras import RAS_COLUMNS
+
+    return Frame({c: data[c] for c in RAS_COLUMNS})
+
+
+def merge_delim_chunks(
+    chunks: list[DelimChunk],
+    names: list[str],
+    tags: list[str],
+    policy: IngestPolicy,
+    report: QuarantineReport,
+) -> Frame:
+    """Merge parsed generic-delimited chunks into one typed frame."""
+    bases = _line_bases([c.n_lines for c in chunks])
+    total_lines = sum(c.n_lines for c in chunks)
+    defects = [
+        (base + idx, defect, sample)
+        for base, chunk in zip(bases, chunks)
+        for idx, defect, sample in chunk.defects
+    ]
+    _replay_policy(defects, total_lines, policy, report)
+
+    from repro.frame.io import _PARSERS
+
+    data = {}
+    for j, (name, tag) in enumerate(zip(names, tags)):
+        parts = [c.arrays[j] for c in chunks]
+        data[name] = np.concatenate(parts) if parts else _PARSERS[tag]([])
+    return Frame(data)

@@ -1,0 +1,140 @@
+"""Per-chunk parse workers for the multiprocessing pool.
+
+Each worker parses one line-aligned byte range of a log file with the
+**context-free** subset of the validating parsers — structure, typed
+cells, vocabulary — exactly as the serial readers would. Cross-record
+state (duplicate recids, time ordering) cannot be decided inside a
+chunk, so workers return *candidate* rows plus per-line defects in
+chunk-local coordinates; :mod:`repro.parallel.merge` replays the
+cross-record checks and the ingest policy over the merged stream.
+
+Worker functions take a single picklable task tuple so they can be
+dispatched with ``Pool.map`` under any start method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.logs.quarantine import SAMPLE_WIDTH, DefectClass
+from repro.parallel.chunking import split_chunk_lines
+
+__all__ = [
+    "RasChunk",
+    "DelimChunk",
+    "parse_ras_chunk",
+    "parse_delim_chunk",
+]
+
+
+@dataclass
+class RasChunk:
+    """One parsed RAS chunk, in chunk-local coordinates.
+
+    ``defects`` carries context-free bad lines as ``(local_line_index,
+    defect, sample)``; candidates are field-valid rows that still await
+    the merge-time duplicate/ordering verdict. ``cand_samples`` keeps
+    the truncated raw text of every candidate because a candidate
+    rejected at merge needs its original line for the quarantine
+    report.
+    """
+
+    n_lines: int
+    defects: list[tuple[int, DefectClass, str]]
+    cand_cols: list[list[str]]  # RAS disk-layout cells, one list per column
+    cand_recids: np.ndarray  # int64
+    cand_times: np.ndarray  # float64 epoch seconds
+    cand_lines: np.ndarray  # int64 local line indices (0-based)
+    cand_samples: list[str]
+
+
+@dataclass
+class DelimChunk:
+    """One parsed generic-delimited chunk (typed arrays, local defects)."""
+
+    n_lines: int
+    defects: list[tuple[int, DefectClass, str]]
+    arrays: list[np.ndarray]  # typed per-column arrays, header order
+
+
+def parse_ras_chunk(task: tuple[str, int, int]) -> RasChunk:
+    """Parse one RAS data chunk: ``(path, start, end)`` byte range."""
+    from repro.logs.stream import classify_ras_fields
+
+    path, start, end = task
+    with open(path, "rb") as fh:
+        fh.seek(start)
+        raw = fh.read(end - start)
+    lines = split_chunk_lines(raw)
+
+    defects: list[tuple[int, DefectClass, str]] = []
+    cols: list[list[str]] = [[] for _ in range(10)]
+    recids: list[int] = []
+    times: list[float] = []
+    line_idx: list[int] = []
+    samples: list[str] = []
+    for i, text in enumerate(lines):
+        defect, parsed = classify_ras_fields(text)
+        if defect is not None:
+            defects.append((i, defect, text[:SAMPLE_WIDTH]))
+            continue
+        cells, recid, event_time = parsed
+        for col, value in zip(cols, cells):
+            col.append(value)
+        recids.append(recid)
+        times.append(event_time)
+        line_idx.append(i)
+        samples.append(text[:SAMPLE_WIDTH])
+    return RasChunk(
+        n_lines=len(lines),
+        defects=defects,
+        cand_cols=cols,
+        cand_recids=np.array(recids, dtype=np.int64),
+        cand_times=np.array(times, dtype=np.float64),
+        cand_lines=np.array(line_idx, dtype=np.int64),
+        cand_samples=samples,
+    )
+
+
+def parse_delim_chunk(
+    task: tuple[str, int, int, str, tuple[str, ...], tuple[str, ...]]
+) -> DelimChunk:
+    """Parse one generic delimited chunk under the typed header schema.
+
+    ``task`` is ``(path, start, end, sep, names, tags)``. All checks
+    here are context-free (structure + typed cells), so the chunk's
+    typed arrays are final — the merge only replays the policy over the
+    defect stream and concatenates.
+    """
+    from repro.frame.io import _PARSERS, unescape_cell
+    from repro.logs.quarantine import structural_defect, typed_cell_defect
+
+    path, start, end, sep, names, tags = task
+    with open(path, "rb") as fh:
+        fh.seek(start)
+        raw = fh.read(end - start)
+    lines = split_chunk_lines(raw)
+
+    defects: list[tuple[int, DefectClass, str]] = []
+    raw_cols: list[list[str]] = [[] for _ in names]
+    for i, text in enumerate(lines):
+        parts = text.split(sep)
+        defect = structural_defect(text, len(parts), len(names))
+        if defect is None:
+            for value, tag in zip(parts, tags):
+                defect = typed_cell_defect(value, tag)
+                if defect is not None:
+                    break
+        if defect is not None:
+            defects.append((i, defect, text[:SAMPLE_WIDTH]))
+            continue
+        for col, value in zip(raw_cols, parts):
+            col.append(value)
+    arrays = []
+    for tag, col in zip(tags, raw_cols):
+        if tag == "str":
+            col = [unescape_cell(v, sep) for v in col]
+        arrays.append(_PARSERS[tag](col))
+    return DelimChunk(n_lines=len(lines), defects=defects, arrays=arrays)

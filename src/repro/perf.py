@@ -30,11 +30,16 @@ __all__ = ["StageTiming", "StageTimer", "render_timings"]
 
 @dataclass(frozen=True)
 class StageTiming:
-    """One timed stage: wall seconds plus an optional row count."""
+    """One timed stage: wall seconds plus an optional row count.
+
+    ``note`` carries a short qualifier about *how* the stage ran —
+    ``"cache hit"``, ``"4 workers"`` — rendered as ``stage[note]``.
+    """
 
     stage: str
     wall_s: float
     rows: int = -1
+    note: str = ""
 
     @property
     def rows_per_s(self) -> float:
@@ -46,10 +51,11 @@ class StageTiming:
 class _StageHandle:
     """Mutable cell the ``with timer.stage(...)`` body writes rows into."""
 
-    __slots__ = ("rows",)
+    __slots__ = ("rows", "note")
 
     def __init__(self) -> None:
         self.rows: int = -1
+        self.note: str = ""
 
 
 class StageTimer:
@@ -64,8 +70,10 @@ class StageTimer:
     def timings(self) -> tuple[StageTiming, ...]:
         return tuple(self._timings)
 
-    def record(self, stage: str, wall_s: float, rows: int = -1) -> None:
-        self._timings.append(StageTiming(stage, wall_s, rows))
+    def record(
+        self, stage: str, wall_s: float, rows: int = -1, note: str = ""
+    ) -> None:
+        self._timings.append(StageTiming(stage, wall_s, rows, note))
 
     def extend(self, timings: Iterable[StageTiming]) -> None:
         self._timings.extend(timings)
@@ -78,7 +86,7 @@ class StageTimer:
         try:
             yield handle
         finally:
-            self.record(name, perf_counter() - t0, handle.rows)
+            self.record(name, perf_counter() - t0, handle.rows, handle.note)
 
     def total(self) -> float:
         """Summed wall seconds without double-booking nested stages.
@@ -120,8 +128,9 @@ def render_timings(
     for t in timings:
         rows = str(t.rows) if t.rows >= 0 else "-"
         rate = f"{t.rows_per_s:,.0f}" if t.rows >= 0 and t.wall_s > 0 else "-"
+        label = f"{t.stage}[{t.note}]" if t.note else t.stage
         lines.append(
-            f"{t.stage:<28} {1e3 * t.wall_s:>8.2f}ms {rows:>10} {rate:>12}"
+            f"{label:<28} {1e3 * t.wall_s:>8.2f}ms {rows:>10} {rate:>12}"
         )
     lines.append(f"{'total':<28} {1e3 * _total(timings):>8.2f}ms")
     return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""The content-addressed parse cache: hits, invalidation, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.logs import IngestPolicy, RasLog, read_ras_log, write_ras_log
+from repro.parallel import ParseCache
+from repro.parallel import cache as cache_mod
+
+from tests.logs.test_ras import make_record
+
+
+@pytest.fixture()
+def ras_file(tmp_path):
+    records = [
+        make_record(recid=i, t=1000.0 + 5.0 * i) for i in range(1, 101)
+    ]
+    path = tmp_path / "ras.log"
+    write_ras_log(RasLog.from_records(records), path)
+    return path
+
+
+@pytest.fixture()
+def dirty_file(ras_file, tmp_path):
+    from repro.faults.corruption import LogCorruptor
+
+    out = tmp_path / "ras_bad.log"
+    LogCorruptor(seed=3, rate=0.1, kind="ras").corrupt_file(ras_file, out)
+    return out
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ParseCache(tmp_path / "cache")
+
+
+def assert_logs_identical(a, b):
+    assert a.frame.columns == b.frame.columns
+    for col in a.frame.columns:
+        assert a.frame[col].dtype == b.frame[col].dtype, col
+        assert np.array_equal(a.frame[col], b.frame[col]), col
+    ra, rb = a.quarantine, b.quarantine
+    assert (ra is None) == (rb is None)
+    if ra is not None:
+        assert ra.total_rows == rb.total_rows
+        assert ra.as_dict() == rb.as_dict()
+        assert {
+            d: [(r.line_no, r.text) for r in recs]
+            for d, recs in ra.samples.items()
+        } == {
+            d: [(r.line_no, r.text) for r in recs]
+            for d, recs in rb.samples.items()
+        }
+
+
+class TestHit:
+    def test_second_read_hits_bit_identical(self, dirty_file, cache):
+        first = read_ras_log(dirty_file, policy="quarantine", cache=cache)
+        second = read_ras_log(dirty_file, policy="quarantine", cache=cache)
+        assert first.cache_status == "miss"
+        assert second.cache_status == "hit"
+        assert_logs_identical(first, second)
+
+    def test_no_cache_leaves_status_none(self, ras_file):
+        log = read_ras_log(ras_file, policy="quarantine")
+        assert log.cache_status is None
+
+    def test_skip_mode_report_round_trips(self, dirty_file, cache):
+        first = read_ras_log(dirty_file, policy="skip", cache=cache)
+        second = read_ras_log(dirty_file, policy="skip", cache=cache)
+        assert second.cache_status == "hit"
+        # skip mode keeps counts only — no sample lines survive the trip
+        assert all(not recs for recs in second.quarantine.samples.values())
+        assert_logs_identical(first, second)
+
+    def test_job_and_ras_kinds_do_not_collide(self, ras_file, cache):
+        pol = IngestPolicy(mode="quarantine")
+        assert cache.key_for(ras_file, kind="ras", policy=pol) != cache.key_for(
+            ras_file, kind="job", policy=pol
+        )
+
+
+class TestInvalidation:
+    def test_content_change_misses(self, ras_file, cache):
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        with open(ras_file, "a") as fh:
+            fh.write(
+                "101|KERN_0802|KERNEL|_bgp_unit|KERN_PANIC|FATAL"
+                "|2008-04-14-15.08.12.285324|R00-M0|SN1|late row\n"
+            )
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "miss"
+
+    def test_policy_change_misses(self, ras_file, cache):
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        log = read_ras_log(ras_file, policy="skip", cache=cache)
+        assert log.cache_status == "miss"
+        strict = read_ras_log(ras_file, policy="strict", cache=cache)
+        assert strict.cache_status == "miss"
+
+    def test_schema_version_bump_misses(
+        self, ras_file, cache, monkeypatch
+    ):
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        monkeypatch.setattr(cache_mod, "PARSE_SCHEMA_VERSION", 9999)
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "miss"
+
+    def test_corrupt_payload_is_a_miss_then_repaired(self, ras_file, cache):
+        first = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        for npz in cache.directory.glob("*.npz"):
+            npz.write_bytes(b"not a zip archive")
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "miss"
+        repaired = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert repaired.cache_status == "hit"
+        assert_logs_identical(first, repaired)
+
+    def test_corrupt_sidecar_is_a_miss(self, ras_file, cache):
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        for sidecar in cache.directory.glob("*.json"):
+            sidecar.write_text("{broken json")
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "miss"
+
+
+class TestFailedParsesAreNotCached:
+    def test_strict_raise_stores_nothing(self, dirty_file, cache):
+        from repro.logs.quarantine import IngestError
+
+        with pytest.raises(IngestError):
+            read_ras_log(dirty_file, policy="strict", cache=cache)
+        assert list(cache.directory.glob("*.json")) == []
+
+    def test_abort_stores_nothing(self, dirty_file, cache):
+        from repro.logs.quarantine import IngestAbortError
+
+        policy = IngestPolicy(mode="quarantine", max_bad_records=0)
+        with pytest.raises(IngestAbortError):
+            read_ras_log(dirty_file, policy=policy, cache=cache)
+        assert list(cache.directory.glob("*.json")) == []

@@ -117,6 +117,39 @@ class TestParser:
             )
         assert "[0, 1]" in capsys.readouterr().err
 
+    def test_workers_default_and_auto(self):
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a.log", "--job", "b.log"]
+        )
+        assert args.workers == 1
+        args = build_parser().parse_args(["demo", "--workers", "0"])
+        assert args.workers == 0
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a", "--job", "b", "--workers", "4"]
+        )
+        assert args.workers == 4
+
+    def test_negative_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["demo", "--workers=-2"])
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_cache_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a", "--job", "b",
+             "--cache-dir", "/tmp/pc", "--no-cache"]
+        )
+        assert args.cache_dir == "/tmp/pc"
+        assert args.no_cache is True
+
+    def test_cache_dir_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/envcache")
+        args = build_parser().parse_args(
+            ["analyze", "--ras", "a", "--job", "b"]
+        )
+        assert args.cache_dir == "/tmp/envcache"
+
     def test_corrupt_args(self):
         args = build_parser().parse_args(
             ["corrupt", "--src", "a.log", "--out", "b.log"]
@@ -150,6 +183,29 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "CO-ANALYSIS" in out
         assert "Obs." in out
+
+    def test_analyze_cache_rerun_hits(self, tmp_path, capsys):
+        assert main(
+            ["simulate", "--out-dir", str(tmp_path), "--scale", "0.01",
+             "--seed", "5"]
+        ) == 0
+        argv = [
+            "analyze", "--ras", str(tmp_path / "ras.log"),
+            "--job", str(tmp_path / "job.log"),
+            "--workers", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "parse cache: ras=miss job=miss" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "parse cache: ras=hit job=hit" in warm
+        # the cached analysis prints the same report body (everything
+        # up to the wall-clock timing table, which legitimately varies)
+        def body(out):
+            return out[out.index("CO-ANALYSIS"):out.index("Stage timings")]
+
+        assert body(cold) == body(warm)
 
     def test_demo(self, capsys):
         rc = main(["demo", "--scale", "0.01", "--seed", "5"])
