@@ -25,6 +25,7 @@ from repro.core.matching_reference import ReferenceInterruptionMatcher
 from repro.frame import Frame
 from repro.logs.job import JobLog
 from repro.machine.partition import PartitionPool
+from repro.obs import record_bench
 from repro.perf import render_timings
 
 
@@ -110,6 +111,10 @@ def test_filter_speedup_10x(filter_10x):
           f"speedup: {t_ref / t_vec:.1f}x "
           f"({ref_chain.stats.raw} -> {ref_chain.stats.after_causal} events)")
     print(render_timings(vec_chain.timings, title="filter chain stage timings"))
+    record_bench(
+        "perf_filtering", "filter_speedup_10x", t_ref / t_vec,
+        reference_s=t_ref, vectorized_s=t_vec,
+    )
     assert t_ref / t_vec >= 5.0
 
 
@@ -239,4 +244,8 @@ def test_match_speedup_10x(match_10x):
           f"speedup: {t_ref / t_vec:.1f}x "
           f"({vec.pairs.num_rows} pairs)")
     print(render_timings(vec.timings, title="match kernel stage timings"))
+    record_bench(
+        "perf_filtering", "match_speedup_10x", t_ref / t_vec,
+        reference_s=t_ref, vectorized_s=t_vec,
+    )
     assert t_ref / t_vec >= 5.0

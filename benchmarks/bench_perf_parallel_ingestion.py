@@ -1,12 +1,14 @@
-"""Performance: chunk-parallel ingestion and the parse cache.
+"""Performance: chunk-parallel ingestion, the parse cache, telemetry cost.
 
-Two hard gates on a 10× synthetic RAS log (120k rows): parsing with 4
+Three hard gates on a 10× synthetic RAS log (120k rows): parsing with 4
 workers must be at least 2× faster than 1 worker (skipped on hosts with
 fewer than 4 available CPUs — a 1-core container cannot express the
-speedup), and a warm-cache rerun must finish in under 10% of the cold
-parse while returning a bit-identical log. A third test pins the
-bit-identical guarantee itself at scale, on a corrupted file, so the
-speed never drifts away from correctness.
+speedup), a warm-cache rerun must finish in under 10% of the cold
+parse while returning a bit-identical log, and running the same parse
+under an active :class:`repro.obs.Tracer` must cost less than 3% extra
+wall time. Another test pins the bit-identical guarantee itself at
+scale, on a corrupted file, so the speed never drifts away from
+correctness.
 """
 
 import time
@@ -18,9 +20,12 @@ from repro.faults.corruption import LogCorruptor
 from repro.frame import Frame
 from repro.logs.ras import RAS_COLUMNS, RasLog
 from repro.logs.textio import read_ras_log, write_ras_log
+from repro.obs import Tracer, get_metrics, record_bench
 from repro.parallel import ParseCache, effective_cpu_count
 
 from benchmarks.conftest import banner
+
+BENCH = "perf_parallel_ingestion"
 
 BASE_ROWS = 12_000
 SCALE = 10
@@ -111,6 +116,7 @@ def test_gate_parallel_speedup_4x(big_ras_file):
         f"serial {t1 * 1e3:.0f}ms vs 4-worker {t4 * 1e3:.0f}ms"
         f" -> {t1 / t4:.2f}x speedup on {BASE_ROWS * SCALE} rows"
     )
+    record_bench(BENCH, "parse_speedup_4w", t1 / t4, serial_s=t1, four_s=t4)
     assert t1 / t4 >= 2.0
 
 
@@ -132,6 +138,10 @@ def test_gate_warm_cache_under_10pct(big_ras_file, tmp_path):
         f"cold {t_cold * 1e3:.0f}ms vs warm {t_warm * 1e3:.0f}ms"
         f" -> {100.0 * t_warm / t_cold:.1f}% of cold"
     )
+    record_bench(
+        BENCH, "warm_cache_fraction", t_warm / t_cold,
+        cold_s=t_cold, warm_s=t_warm,
+    )
     assert t_warm < 0.10 * t_cold
 
 
@@ -150,3 +160,41 @@ def test_perf_read_parallel_auto(benchmark, big_ras_file):
         read_ras_log, big_ras_file, policy="quarantine", workers=0
     )
     assert len(log) == BASE_ROWS * SCALE
+
+
+def test_gate_telemetry_overhead_under_3pct(big_ras_file):
+    """Hard gate: an active tracer adds < 3% wall to the serial parse."""
+    banner("parallel ingestion: telemetry overhead gate")
+
+    def plain():
+        read_ras_log(big_ras_file, policy="quarantine", workers=1)
+
+    def traced():
+        tracer = Tracer()
+        get_metrics().reset()
+        with tracer.activate():
+            read_ras_log(big_ras_file, policy="quarantine", workers=1)
+        assert "ingest.parse.chunk" in tracer.span_names()
+
+    plain()  # warm the page cache so both arms measure the same work
+    # interleave the arms: best-of-N per arm with alternating rounds,
+    # so machine-wide drift (load, cpufreq) hits both arms equally
+    # instead of biasing whichever block ran second
+    base = tele = float("inf")
+    for _ in range(4):
+        t0 = time.perf_counter()
+        plain()
+        base = min(base, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        traced()
+        tele = min(tele, time.perf_counter() - t0)
+    overhead = tele / base - 1.0
+    print(
+        f"plain {base * 1e3:.0f}ms vs traced {tele * 1e3:.0f}ms"
+        f" -> {100.0 * overhead:+.2f}% overhead"
+    )
+    record_bench(
+        BENCH, "telemetry_overhead_frac", overhead,
+        plain_s=base, traced_s=tele,
+    )
+    assert tele < 1.03 * base

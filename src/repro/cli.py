@@ -1,13 +1,15 @@
 """Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Four subcommands::
+Five subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
     repro-coanalysis analyze --ras traces/ras.log --job traces/job.log \
         [--on-bad-record {strict,quarantine,skip}] [--max-bad-records N] \
-        [--workers N] [--cache-dir DIR] [--no-cache]
+        [--workers N] [--cache-dir DIR] [--no-cache] \
+        [--telemetry-out run.jsonl]
     repro-coanalysis demo [--scale 0.1] [--workers N]
+    repro-coanalysis trace run.jsonl [--top N] [--validate]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
 Table II / Table III field layout; ``corrupt`` injects the cataloged
@@ -17,6 +19,13 @@ logs in that format (including real, dirty ones — see
 ``--on-bad-record``); ``demo`` does both in memory and prints the
 report. ``analyze`` exits with status 2 when ingestion rejects or
 aborts on a damaged log.
+
+``--telemetry-out PATH`` (or ``REPRO_TELEMETRY_DIR``) records the run's
+own telemetry — the hierarchical span tree, the metrics registry and
+the observation verdicts — as a schema-versioned JSONL manifest (see
+:mod:`repro.obs`); ``trace`` renders such a manifest as an indented
+span tree plus a hot-stage summary, or schema-checks it with
+``--validate``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import argparse
 import os
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.core import CoAnalysis, InterruptionMatcher
@@ -181,8 +191,64 @@ def _ingest_policy(args: argparse.Namespace) -> IngestPolicy:
     )
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="write the run's telemetry manifest (span tree, metrics, "
+             "observations) as JSONL to PATH; defaults to a timestamped "
+             "file under $REPRO_TELEMETRY_DIR when that is set",
+    )
+
+
+class _TelemetryRun:
+    """One CLI run's telemetry: tracer, metrics and the manifest write."""
+
+    def __init__(self, out: Path, config: dict):
+        from repro.obs import Tracer, get_metrics
+
+        self.out = out
+        self.config = config
+        self.tracer = Tracer(sample_resources=True)
+        self.metrics = get_metrics()
+        self.metrics.reset()
+        self.observations: list = []
+
+    def activate(self):
+        return self.tracer.activate(root="run")
+
+    def finish(self) -> Path:
+        from repro.obs import write_manifest
+
+        return write_manifest(
+            self.out,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            config=self.config,
+            observations=self.observations,
+        )
+
+
+def _telemetry(args: argparse.Namespace) -> _TelemetryRun | None:
+    """The run's telemetry context, or None when not requested."""
+    out = getattr(args, "telemetry_out", None)
+    if not out:
+        directory = os.environ.get("REPRO_TELEMETRY_DIR")
+        if not directory:
+            return None
+        out = Path(directory) / (
+            f"run-{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}.jsonl"
+        )
+    config = {
+        key: value
+        for key, value in vars(args).items()
+        if key != "func" and not callable(value)
+    }
+    return _TelemetryRun(Path(out), config)
+
+
 def _run_analysis(
-    args: argparse.Namespace, ras_log, job_log, extra_timings=()
+    args: argparse.Namespace, ras_log, job_log, extra_timings=(),
+    telemetry: _TelemetryRun | None = None,
 ) -> int:
     analysis = CoAnalysis(
         filters=FilterChain(
@@ -194,6 +260,8 @@ def _run_analysis(
         study_workers=getattr(args, "workers", 1),
     )
     result = analysis.run(ras_log, job_log)
+    if telemetry is not None:
+        telemetry.observations = list(result.observations)
     print(result.report())
     for label, log in (("RAS", ras_log), ("job", job_log)):
         report = getattr(log, "quarantine", None)
@@ -245,38 +313,48 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.parallel import ParseCache
 
         cache = ParseCache(args.cache_dir)
+    telemetry = _telemetry(args)
     timer = StageTimer()
-    try:
-        with timer.stage("ingest.ras") as st:
-            ras_log = read_ras_log(
-                args.ras, policy=policy, workers=args.workers, cache=cache
+    with telemetry.activate() if telemetry else nullcontext():
+        try:
+            with timer.stage("ingest.ras") as st:
+                ras_log = read_ras_log(
+                    args.ras, policy=policy, workers=args.workers,
+                    cache=cache,
+                )
+                st.rows = len(ras_log)
+                st.note = _ingest_note(ras_log, args.workers)
+            with timer.stage("ingest.job") as st:
+                job_log = read_job_log(
+                    args.job, policy=policy, workers=args.workers,
+                    cache=cache,
+                )
+                st.rows = job_log.num_jobs
+                st.note = _ingest_note(job_log, args.workers)
+        except IngestAbortError as exc:
+            print(f"ingestion aborted: {exc}", file=sys.stderr)
+            print(exc.report.render(), file=sys.stderr)
+            return 2
+        except IngestError as exc:
+            print(
+                f"ingestion rejected a bad record: {exc}\n"
+                "(rerun with --on-bad-record quarantine to divert bad "
+                "records and continue)",
+                file=sys.stderr,
             )
-            st.rows = len(ras_log)
-            st.note = _ingest_note(ras_log, args.workers)
-        with timer.stage("ingest.job") as st:
-            job_log = read_job_log(
-                args.job, policy=policy, workers=args.workers, cache=cache
+            return 2
+        if cache is not None:
+            print(
+                f"parse cache: ras={ras_log.cache_status}"
+                f" job={job_log.cache_status}"
             )
-            st.rows = job_log.num_jobs
-            st.note = _ingest_note(job_log, args.workers)
-    except IngestAbortError as exc:
-        print(f"ingestion aborted: {exc}", file=sys.stderr)
-        print(exc.report.render(), file=sys.stderr)
-        return 2
-    except IngestError as exc:
-        print(
-            f"ingestion rejected a bad record: {exc}\n"
-            "(rerun with --on-bad-record quarantine to divert bad "
-            "records and continue)",
-            file=sys.stderr,
+        rc = _run_analysis(
+            args, ras_log, job_log, extra_timings=timer.timings,
+            telemetry=telemetry,
         )
-        return 2
-    if cache is not None:
-        print(
-            f"parse cache: ras={ras_log.cache_status}"
-            f" job={job_log.cache_status}"
-        )
-    return _run_analysis(args, ras_log, job_log, extra_timings=timer.timings)
+    if telemetry is not None and rc == 0:
+        print(f"telemetry manifest: {telemetry.finish()}")
+    return rc
 
 
 def cmd_corrupt(args: argparse.Namespace) -> int:
@@ -290,9 +368,46 @@ def cmd_corrupt(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    profile = CalibrationProfile(seed=args.seed, scale=args.scale)
-    trace = IntrepidSimulation(profile).run()
-    return _run_analysis(args, trace.ras_log, trace.job_log)
+    from repro.obs import maybe_span
+
+    telemetry = _telemetry(args)
+    with telemetry.activate() if telemetry else nullcontext():
+        profile = CalibrationProfile(seed=args.seed, scale=args.scale)
+        with maybe_span("simulate"):
+            trace = IntrepidSimulation(profile).run()
+        rc = _run_analysis(
+            args, trace.ras_log, trace.job_log, telemetry=telemetry
+        )
+    if telemetry is not None and rc == 0:
+        print(f"telemetry manifest: {telemetry.finish()}")
+    return rc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_manifest, validate_manifest
+    from repro.viz import render_trace
+
+    try:
+        manifest = read_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_manifest(manifest)
+    if args.validate:
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 2
+        print(
+            f"manifest OK: {len(manifest['spans'])} spans,"
+            f" {len(manifest['metrics'])} metrics,"
+            f" {len(manifest['observations'])} observations"
+        )
+        return 0
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    print(render_trace(manifest, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -335,19 +450,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ingest_args(p_an)
     _add_workers_arg(p_an)
     _add_cache_args(p_an)
+    _add_telemetry_args(p_an)
     p_an.set_defaults(func=cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="simulate + analyze in memory")
     _add_profile_args(p_demo)
     _add_analysis_args(p_demo)
     _add_workers_arg(p_demo)
+    _add_telemetry_args(p_demo)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_tr = sub.add_parser(
+        "trace", help="render or validate a telemetry run manifest"
+    )
+    p_tr.add_argument("manifest", help="run manifest (JSONL) to read")
+    p_tr.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="hot-stage table depth (default 5)",
+    )
+    p_tr.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the manifest instead of rendering it "
+             "(exit 2 on problems)",
+    )
+    p_tr.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; not an error worth a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ from repro.core.events import FatalEventTable
 from repro.core.filtering.causal import CausalityFilter
 from repro.core.filtering.spatial import SpatialFilter
 from repro.core.filtering.temporal import TemporalFilter
+from repro.obs.metrics import get_metrics
 from repro.perf import StageTimer, StageTiming
 
 
@@ -61,6 +62,15 @@ class FilterChain:
             after_spatial=len(s),
             after_causal=len(c),
         )
+        registry = get_metrics()
+        registry.counter("kernel.filter.candidates").inc(raw)
+        registry.counter("kernel.filter.emitted").inc(len(c))
+        for stage, kept in (
+            ("temporal", len(t)),
+            ("spatial", len(s)),
+            ("causal", len(c)),
+        ):
+            registry.counter("kernel.filter.kept", stage=stage).inc(kept)
         self.temporal_table = t
         self.timings = timer.timings
         return c

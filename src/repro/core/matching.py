@@ -193,6 +193,12 @@ class InterruptionMatcher:
             interruptions = _first_event_per_job(pairs)
             st.rows = pairs.num_rows
 
+        from repro.obs.metrics import get_metrics
+
+        registry = get_metrics()
+        registry.counter("kernel.match.candidates").inc(int(len(m_ev)))
+        registry.counter("kernel.match.emitted").inc(int(pairs.num_rows))
+
         return MatchResult(
             pairs=pairs,
             interruptions=interruptions,

@@ -33,6 +33,7 @@ from repro.frame import Frame
 from repro.frame.column import factorize, factorize_many, first_occurrence_mask
 from repro.logs.job import JobLog
 from repro.logs.ras import RasLog
+from repro.obs.trace import maybe_span
 from repro.perf import StageTimer, StageTiming
 
 
@@ -343,10 +344,12 @@ class CoAnalysis:
             ),
         ]
 
-        def attempt(fn):
+        def attempt(name, fn):
             t0 = perf_counter()
             try:
-                return fn(), None, perf_counter() - t0
+                with maybe_span(f"studies.{name}"):
+                    result = fn()
+                return result, None, perf_counter() - t0
             except Exception as exc:  # noqa: BLE001 - boundary's job
                 if not self.error_boundaries:
                     raise
@@ -358,16 +361,26 @@ class CoAnalysis:
         concurrent = self.error_boundaries and n > 1
         outcomes: dict[str, tuple] = {}
         if concurrent:
+            import contextvars
             from concurrent.futures import ThreadPoolExecutor
 
+            # pool threads do not inherit ContextVars; a per-task
+            # context copy carries the active tracer and the parent
+            # span into each study so its span nests under "studies"
             with ThreadPoolExecutor(max_workers=min(n, len(wave1))) as pool:
                 futures = [
-                    (name, pool.submit(attempt, fn)) for name, fn in wave1
+                    (
+                        name,
+                        pool.submit(
+                            contextvars.copy_context().run, attempt, name, fn
+                        ),
+                    )
+                    for name, fn in wave1
                 ]
                 outcomes = {name: fut.result() for name, fut in futures}
         else:
             for name, fn in wave1:
-                outcomes[name] = attempt(fn)
+                outcomes[name] = attempt(name, fn)
 
         # wave two: cheap follow-ons fed by wave-one products
         interarrivals = outcomes["interarrivals"][0]
@@ -377,11 +390,11 @@ class CoAnalysis:
             else float("nan")
         )
         outcomes["rates"] = attempt(
-            lambda: interruption_rate_study(interruptions, mtbf=mtbf)
+            "rates", lambda: interruption_rate_study(interruptions, mtbf=mtbf)
         )
         profile = outcomes["midplane_profile"][0]
         if profile is not None:
-            outcomes["skew"] = attempt(lambda: midplane_skew(profile))
+            outcomes["skew"] = attempt("skew", lambda: midplane_skew(profile))
         else:
             outcomes["skew"] = None  # skipped, not failed
 

@@ -29,6 +29,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_metrics
+
 __all__ = [
     "DefectClass",
     "BadRecord",
@@ -141,6 +143,9 @@ class QuarantineReport:
     def record(self, line_no: int, defect: DefectClass, text: str) -> None:
         """Count one bad line, keeping a bounded sample of it."""
         self.counts[defect] = self.counts.get(defect, 0) + 1
+        get_metrics().counter(
+            "ingest.quarantine.defects", defect=defect.value
+        ).inc()
         kept = self.samples.setdefault(defect, [])
         if len(kept) < self.max_samples_per_class:
             kept.append(BadRecord(line_no, defect, text[:SAMPLE_WIDTH]))

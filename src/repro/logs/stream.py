@@ -21,6 +21,7 @@ from __future__ import annotations
 import re
 from collections import Counter
 from pathlib import Path
+from time import perf_counter, thread_time
 from typing import Iterator
 
 import numpy as np
@@ -38,6 +39,8 @@ from repro.logs.quarantine import (
 )
 from repro.logs.ras import COMPONENTS, RAS_COLUMNS, SEVERITIES, RasLog
 from repro.logs.textio import parse_bgp_time
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import current_tracer
 
 _DISK_COLUMNS = (
     "recid", "msg_id", "component", "subcomponent", "errcode",
@@ -163,6 +166,10 @@ def iter_ras_chunks(
         recids: list[int] = []
         times: list[float] = []
         yielded = False
+        chunk_index = 0
+        # chunk telemetry: the window re-opens after each yield resumes,
+        # so consumer time between chunks never counts as parse time
+        t0, c0 = perf_counter(), thread_time()
         for line_no, line in enumerate(fh, start=2):
             text = line.rstrip("\r\n")
             report.total_rows += 1
@@ -176,14 +183,43 @@ def iter_ras_chunks(
             recids.append(recid)
             times.append(event_time)
             if len(buffer) >= chunk_rows:
+                _note_serial_chunk(chunk_index, len(buffer), t0, c0)
+                chunk_index += 1
                 yield _chunk_to_log(buffer, recids, times)
                 buffer, recids, times = [], [], []
                 yielded = True
+                t0, c0 = perf_counter(), thread_time()
         finish_ingest(pol, report)
         if buffer:
+            _note_serial_chunk(chunk_index, len(buffer), t0, c0)
             yield _chunk_to_log(buffer, recids, times)
         elif not yielded:
+            _note_serial_chunk(chunk_index, 0, t0, c0)
             yield empty_ras_log()
+
+
+def _note_serial_chunk(
+    index: int, rows: int, t0: float, c0: float
+) -> None:
+    """Per-chunk telemetry for the streaming (serial) parse path.
+
+    Mirrors the chunk-parallel reader's ``ingest.parse.chunk`` spans
+    and counters so a serial and a parallel run produce the same span
+    *names* and the same metric families.
+    """
+    wall_s = perf_counter() - t0
+    registry = get_metrics()
+    registry.counter("ingest.chunk.records").inc(rows)
+    registry.histogram("ingest.chunk.wall_s").observe(wall_s)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.attach(
+            "ingest.parse.chunk",
+            wall_s=wall_s,
+            cpu_s=thread_time() - c0,
+            rows=rows,
+            chunk=index,
+        )
 
 
 def _chunk_to_log(

@@ -1,0 +1,198 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The pipeline's instrumentation points (quarantine ledger, parse cache,
+chunk workers, the filter and matching kernels) increment named
+instruments here; a run manifest snapshots the registry at export time.
+Instruments are keyed by ``(name, labels)`` — asking twice for the same
+key returns the same instrument — and all mutation goes through one
+registry lock, so fork-join thread pools can increment concurrently.
+
+The registry is **always on**: instruments are cheap enough (a dict
+lookup amortised away by caching the instrument reference, plus a
+locked integer add per event, at chunk/stage granularity — never per
+log line except for quarantined defects) that there is no enable flag
+to thread through the call sites. :func:`get_metrics` returns the
+process-wide default registry; tests and the CLI call
+:meth:`MetricsRegistry.reset` at run start for a clean slate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def as_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-write-wins level (e.g. a worker count, a high-water mark)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to *value* if it is below it (high-water)."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+    def as_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def as_record(self) -> dict:
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.labels,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments, snapshot-able."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (cls.kind, name, tuple(sorted(labels.items())))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(name, dict(labels), self._lock)
+                self._instruments[key] = inst
+            elif not isinstance(inst, cls):  # pragma: no cover - defensive
+                raise TypeError(
+                    f"metric {name!r} already registered as {inst.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        """Manifest records for every instrument, sorted by identity."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return [inst.as_record() for _, inst in sorted(
+            instruments, key=lambda kv: kv[0]
+        )]
+
+    def value(self, name: str, kind: str = "counter", **labels) -> object:
+        """The current value of one instrument, or ``None`` if absent.
+
+        Counters/gauges return their value; histograms their count.
+        Convenience for tests and reports.
+        """
+        key = (kind, name, tuple(sorted(labels.items())))
+        with self._lock:
+            inst = self._instruments.get(key)
+        if inst is None:
+            return None
+        return inst.count if kind == "histogram" else inst.value
+
+    def reset(self) -> None:
+        """Drop every instrument (start of a telemetry run, tests)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: the process-wide default registry every instrumentation point uses
+_DEFAULT = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.frame.frame import Frame
 from repro.logs.quarantine import DefectClass, IngestPolicy, QuarantineReport
+from repro.obs.metrics import get_metrics
 
 __all__ = ["PARSE_SCHEMA_VERSION", "ParseCache", "apply_report_state"]
 
@@ -71,6 +72,11 @@ def apply_report_state(report: QuarantineReport, state: dict) -> None:
     for value, n in state["counts"].items():
         defect = DefectClass(value)
         report.counts[defect] = report.counts.get(defect, 0) + int(n)
+        # a cache hit re-observes the same defects the original parse
+        # diverted, so the run's counters match a cacheless run
+        get_metrics().counter(
+            "ingest.quarantine.defects", defect=defect.value
+        ).inc(int(n))
     for value, recs in state["samples"].items():
         defect = DefectClass(value)
         kept = report.samples.setdefault(defect, [])
@@ -87,6 +93,9 @@ class ParseCache:
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: how the most recent :meth:`load` resolved
+        #: (``hit``/``miss``/``stale``/``corrupt``, ``None`` before any)
+        self.last_status: str | None = None
 
     # -- keying ---------------------------------------------------------
 
@@ -174,14 +183,27 @@ class ParseCache:
         """The cached ``(frame, report_state)`` for *key*, or ``None``.
 
         Every failure mode — absent entry, corrupt npz, sidecar/version
-        drift — is a miss, never an exception.
+        drift — is a miss, never an exception. ``last_status`` (and the
+        ``ingest.cache.*`` counters) distinguish how the lookup went:
+        ``hit``, ``miss`` (no entry), ``stale`` (schema-version drift)
+        or ``corrupt`` (entry present but unreadable).
         """
+        value, status = self._load_classified(key)
+        self.last_status = status
+        get_metrics().counter("ingest.cache.lookups", status=status).inc()
+        return value
+
+    def _load_classified(
+        self, key: str
+    ) -> tuple[tuple[Frame, dict | None] | None, str]:
         npz_path, json_path = self._paths(key)
+        if not json_path.exists():
+            return None, "miss"
         try:
             with open(json_path, "r", encoding="utf-8") as fh:
                 sidecar = json.load(fh)
             if sidecar.get("version") != PARSE_SCHEMA_VERSION:
-                return None
+                return None, "stale"
             data = {}
             with np.load(npz_path, allow_pickle=True) as npz:
                 for j, (name, encoding) in enumerate(sidecar["columns"]):
@@ -191,6 +213,6 @@ class ParseCache:
                         data[name] = values[codes]
                     else:
                         data[name] = npz[f"{j}.raw"]
-            return Frame(data), sidecar["report"]
+            return (Frame(data), sidecar["report"]), "hit"
         except Exception:
-            return None
+            return None, "corrupt"

@@ -24,6 +24,8 @@ from repro.logs.quarantine import (
     QuarantineReport,
     coerce_policy,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import current_tracer
 from repro.parallel.chunking import plan_chunks, scan_header
 from repro.parallel.merge import merge_delim_chunks, merge_ras_chunks
 from repro.parallel.workers import parse_delim_chunk, parse_ras_chunk
@@ -57,11 +59,43 @@ def _run_chunks(worker, tasks: list, workers: int) -> list:
     """Map *worker* over chunk *tasks*, pooled when it pays off."""
     n = min(workers, len(tasks))
     if n <= 1 or len(tasks) <= 1:
-        return [worker(t) for t in tasks]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ctx.Pool(processes=n) as pool:
-        return pool.map(worker, tasks)
+        chunks = [worker(t) for t in tasks]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ctx.Pool(processes=n) as pool:
+            chunks = pool.map(worker, tasks)
+    _note_chunks(chunks, n)
+    return chunks
+
+
+def _note_chunks(chunks: list, workers: int) -> None:
+    """Re-attach the workers' self-measurements in the parent process.
+
+    Fork workers cannot write to the parent's tracer or registry, so
+    each chunk carries its own wall/CPU/row/byte numbers home; here
+    they become ``ingest.parse.chunk`` child spans of the current span
+    plus per-chunk counters — the merged telemetry looks the same
+    whether the chunks ran pooled or inline.
+    """
+    registry = get_metrics()
+    tracer = current_tracer()
+    for i, chunk in enumerate(chunks):
+        registry.counter("ingest.chunk.records").inc(chunk.n_lines)
+        registry.counter("ingest.chunk.bytes").inc(chunk.n_bytes)
+        registry.histogram("ingest.chunk.wall_s").observe(chunk.wall_s)
+        if tracer is not None:
+            tracer.attach(
+                "ingest.parse.chunk",
+                wall_s=chunk.wall_s,
+                cpu_s=chunk.cpu_s,
+                rows=chunk.n_lines,
+                note=f"{workers} workers" if workers > 1 else "",
+                chunk=i,
+                bytes=chunk.n_bytes,
+            )
 
 
 def parallel_read_ras_frame(

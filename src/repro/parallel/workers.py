@@ -15,6 +15,7 @@ dispatched with ``Pool.map`` under any start method.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter, process_time
 
 import numpy as np
 
@@ -48,6 +49,12 @@ class RasChunk:
     cand_times: np.ndarray  # float64 epoch seconds
     cand_lines: np.ndarray  # int64 local line indices (0-based)
     cand_samples: list[str]
+    # worker-side telemetry: the parent process cannot observe a fork
+    # worker's clocks, so each chunk ships its own measurements home
+    # and the parent re-attaches them as child spans / counters
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    n_bytes: int = 0
 
 
 @dataclass
@@ -57,6 +64,10 @@ class DelimChunk:
     n_lines: int
     defects: list[tuple[int, DefectClass, str]]
     arrays: list[np.ndarray]  # typed per-column arrays, header order
+    # worker-side telemetry (see RasChunk)
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    n_bytes: int = 0
 
 
 def parse_ras_chunk(task: tuple[str, int, int]) -> RasChunk:
@@ -64,6 +75,7 @@ def parse_ras_chunk(task: tuple[str, int, int]) -> RasChunk:
     from repro.logs.stream import classify_ras_fields
 
     path, start, end = task
+    t0, c0 = perf_counter(), process_time()
     with open(path, "rb") as fh:
         fh.seek(start)
         raw = fh.read(end - start)
@@ -95,6 +107,9 @@ def parse_ras_chunk(task: tuple[str, int, int]) -> RasChunk:
         cand_times=np.array(times, dtype=np.float64),
         cand_lines=np.array(line_idx, dtype=np.int64),
         cand_samples=samples,
+        wall_s=perf_counter() - t0,
+        cpu_s=process_time() - c0,
+        n_bytes=end - start,
     )
 
 
@@ -112,6 +127,7 @@ def parse_delim_chunk(
     from repro.logs.quarantine import structural_defect, typed_cell_defect
 
     path, start, end, sep, names, tags = task
+    t0, c0 = perf_counter(), process_time()
     with open(path, "rb") as fh:
         fh.seek(start)
         raw = fh.read(end - start)
@@ -137,4 +153,11 @@ def parse_delim_chunk(
         if tag == "str":
             col = [unescape_cell(v, sep) for v in col]
         arrays.append(_PARSERS[tag](col))
-    return DelimChunk(n_lines=len(lines), defects=defects, arrays=arrays)
+    return DelimChunk(
+        n_lines=len(lines),
+        defects=defects,
+        arrays=arrays,
+        wall_s=perf_counter() - t0,
+        cpu_s=process_time() - c0,
+        n_bytes=end - start,
+    )

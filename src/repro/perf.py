@@ -9,6 +9,13 @@ the filter chain. The numbers surface in
 ``python -m repro --timings ...`` so perf regressions are visible
 without a profiler.
 
+When a :class:`repro.obs.trace.Tracer` is active (see
+``--telemetry-out``), every ``timer.stage(...)`` block additionally
+opens a span there, so the flat timing table and the hierarchical span
+tree are fed by the same call sites — existing instrumentation keeps
+working unchanged and gains tracing for free. Without an active tracer
+the probe is one ContextVar read.
+
 Usage::
 
     timer = StageTimer()
@@ -20,10 +27,13 @@ Usage::
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Iterator
+
+from repro.obs.trace import current_tracer
 
 __all__ = ["StageTiming", "StageTimer", "render_timings"]
 
@@ -43,6 +53,8 @@ class StageTiming:
 
     @property
     def rows_per_s(self) -> float:
+        """Rows per second; NaN when no rows were recorded or the
+        stage finished in zero wall time (rendered as ``-``)."""
         if self.rows < 0 or self.wall_s <= 0.0:
             return float("nan")
         return self.rows / self.wall_s
@@ -80,13 +92,39 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[_StageHandle]:
-        """Time the body; set ``handle.rows`` inside to record a count."""
+        """Time the body; set ``handle.rows`` inside to record a count.
+
+        With an ambient tracer the stage also becomes a span (child of
+        whatever span is currently open), carrying the same wall time,
+        rows and note — one call site feeds both the flat table and
+        the tree.
+        """
         handle = _StageHandle()
-        t0 = perf_counter()
-        try:
-            yield handle
-        finally:
-            self.record(name, perf_counter() - t0, handle.rows, handle.note)
+        tracer = current_tracer()
+        if tracer is None:
+            t0 = perf_counter()
+            try:
+                yield handle
+            finally:
+                self.record(
+                    name, perf_counter() - t0, handle.rows, handle.note
+                )
+        else:
+            span = None
+            try:
+                with tracer.span(name) as span:
+                    try:
+                        yield handle
+                    finally:
+                        span.rows = handle.rows
+                        span.note = handle.note
+            finally:
+                self.record(
+                    name,
+                    span.wall_s if span is not None else 0.0,
+                    handle.rows,
+                    handle.note,
+                )
 
     def total(self) -> float:
         """Summed wall seconds without double-booking nested stages.
@@ -121,16 +159,28 @@ def _total(timings: Iterable[StageTiming]) -> float:
 def render_timings(
     timings: Iterable[StageTiming], title: str = "stage timings"
 ) -> str:
-    """An aligned text table of stage timings (report/CLI output)."""
+    """An aligned text table of stage timings (report/CLI output).
+
+    The stage column widens to the longest label (name plus
+    ``[note]``), so long stage names never break the alignment.
+    """
     timings = list(timings)
+    labels = [
+        f"{t.stage}[{t.note}]" if t.note else t.stage for t in timings
+    ]
+    width = max([28, *(len(label) for label in labels)])
     lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
-    lines.append(f"{'stage':<28} {'wall':>10} {'rows':>10} {'rows/s':>12}")
-    for t in timings:
+    lines.append(
+        f"{'stage':<{width}} {'wall':>10} {'rows':>10} {'rows/s':>12}"
+    )
+    for t, label in zip(timings, labels):
         rows = str(t.rows) if t.rows >= 0 else "-"
-        rate = f"{t.rows_per_s:,.0f}" if t.rows >= 0 and t.wall_s > 0 else "-"
-        label = f"{t.stage}[{t.note}]" if t.note else t.stage
+        # single source of truth with StageTiming.rows_per_s: a NaN
+        # rate (no rows recorded, or a zero-duration stage) prints "-"
+        rate_value = t.rows_per_s
+        rate = "-" if math.isnan(rate_value) else f"{rate_value:,.0f}"
         lines.append(
-            f"{label:<28} {1e3 * t.wall_s:>8.2f}ms {rows:>10} {rate:>12}"
+            f"{label:<{width}} {1e3 * t.wall_s:>8.2f}ms {rows:>10} {rate:>12}"
         )
-    lines.append(f"{'total':<28} {1e3 * _total(timings):>8.2f}ms")
+    lines.append(f"{'total':<{width}} {1e3 * _total(timings):>8.2f}ms")
     return "\n".join(lines)

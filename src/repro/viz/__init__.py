@@ -14,5 +14,15 @@ from repro.viz.ascii import (
     series_table,
     sparkline,
 )
+from repro.viz.trace import hot_stages, render_span_tree, render_trace
 
-__all__ = ["bar_chart", "sparkline", "cdf_plot", "histogram", "series_table"]
+__all__ = [
+    "bar_chart",
+    "sparkline",
+    "cdf_plot",
+    "histogram",
+    "series_table",
+    "render_trace",
+    "render_span_tree",
+    "hot_stages",
+]

@@ -1,0 +1,122 @@
+"""Terminal rendering of a telemetry run manifest.
+
+``python -m repro trace run.jsonl`` prints the span tree with per-span
+total and self time (self = wall minus the wall of direct children),
+CPU time and row counts, followed by a top-N "hot stages" table that
+aggregates self time by span name — the quickest answer to "where did
+this run actually spend its time?".
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_trace", "render_span_tree", "hot_stages"]
+
+
+def _children_index(spans: list[dict]) -> dict:
+    """Parent id -> ordered child spans; unknown parents act as roots."""
+    ids = {s["id"] for s in spans}
+    children: dict = {}
+    for span in spans:
+        parent = span.get("parent")
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.get("start_s", 0.0), s["id"]))
+    return children
+
+
+def _self_s(span: dict, children: dict) -> float:
+    kids = children.get(span["id"], ())
+    return max(0.0, span["wall_s"] - sum(k["wall_s"] for k in kids))
+
+
+def _label(span: dict) -> str:
+    note = span.get("note", "")
+    return f"{span['name']}[{note}]" if note else span["name"]
+
+
+def render_span_tree(spans: list[dict], title: str = "span tree") -> str:
+    """The indented span tree with total/self/CPU time and rows."""
+    children = _children_index(spans)
+
+    rows: list[tuple[str, dict]] = []
+
+    def walk(span: dict, depth: int) -> None:
+        rows.append(("  " * depth + _label(span), span))
+        for child in children.get(span["id"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+
+    width = max([24, *(len(label) for label, _ in rows)])
+    lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
+    lines.append(
+        f"{'span':<{width}} {'total':>10} {'self':>10}"
+        f" {'cpu':>10} {'rows':>10}"
+    )
+    for label, span in rows:
+        self_s = _self_s(span, children)
+        rows_text = str(span["rows"]) if span.get("rows", -1) >= 0 else "-"
+        lines.append(
+            f"{label:<{width}} {1e3 * span['wall_s']:>8.2f}ms"
+            f" {1e3 * self_s:>8.2f}ms"
+            f" {1e3 * span.get('cpu_s', 0.0):>8.2f}ms"
+            f" {rows_text:>10}"
+        )
+    return "\n".join(lines)
+
+
+def hot_stages(
+    spans: list[dict], top: int = 5
+) -> list[tuple[str, float, int, float]]:
+    """Top-*top* span names by aggregate self time.
+
+    Returns ``(name, self_seconds, count, share_of_root)`` tuples,
+    hottest first; *share_of_root* is against the total wall of the
+    root spans.
+    """
+    children = _children_index(spans)
+    totals: dict[str, tuple[float, int]] = {}
+    for span in spans:
+        self_s = _self_s(span, children)
+        acc, count = totals.get(span["name"], (0.0, 0))
+        totals[span["name"]] = (acc + self_s, count + 1)
+    root_wall = sum(s["wall_s"] for s in children.get(None, ()))
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:top]
+    return [
+        (name, self_s, count, self_s / root_wall if root_wall else 0.0)
+        for name, (self_s, count) in ranked
+    ]
+
+
+def render_hot_stages(spans: list[dict], top: int = 5) -> str:
+    title = f"hot stages (top {top} by self time)"
+    lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
+    ranked = hot_stages(spans, top)
+    width = max([24, *(len(name) for name, *_ in ranked)]) if ranked else 24
+    for rank, (name, self_s, count, share) in enumerate(ranked, start=1):
+        lines.append(
+            f"{rank:>2}. {name:<{width}} {1e3 * self_s:>8.2f}ms"
+            f" {100.0 * share:>5.1f}%  x{count}"
+        )
+    if not ranked:
+        lines.append("  (no spans)")
+    return "\n".join(lines)
+
+
+def render_trace(manifest: dict, top: int = 5) -> str:
+    """Full terminal rendering of one run manifest."""
+    run = manifest.get("run") or {}
+    spans = manifest.get("spans", [])
+    header = (
+        f"run: git {str(run.get('git_rev', 'unknown'))[:12]}"
+        f" | config {run.get('config_fingerprint', '?')}"
+        f" | {len(spans)} spans"
+        f" | {len(manifest.get('metrics', []))} metrics"
+        f" | {len(manifest.get('observations', []))} observations"
+    )
+    parts = [header, render_span_tree(spans)]
+    if spans:
+        parts.append(render_hot_stages(spans, top))
+    return "\n".join(parts)

@@ -1,0 +1,84 @@
+"""End-to-end: ``--telemetry-out`` manifests and the ``trace`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_manifest, validate_manifest
+
+
+@pytest.fixture(scope="module")
+def demo_manifest(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "run.jsonl"
+    rc = main([
+        "demo", "--scale", "0.02", "--telemetry-out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestTelemetryOut:
+    def test_manifest_written_and_valid(self, demo_manifest):
+        assert demo_manifest.exists()
+        assert validate_manifest(demo_manifest) == []
+
+    def test_manifest_contents(self, demo_manifest):
+        manifest = read_manifest(demo_manifest)
+        names = {s["name"] for s in manifest["spans"]}
+        assert {"run", "simulate", "filter", "match", "studies"} <= names
+        assert manifest["metrics"], "metrics section empty"
+        assert len(manifest["observations"]) == 12
+        config = manifest["run"]["config"]
+        assert config["scale"] == 0.02
+        assert config["command"] == "demo"
+
+    def test_path_announced(self, demo_manifest, capsys, tmp_path):
+        out = tmp_path / "r.jsonl"
+        assert main(["demo", "--scale", "0.02",
+                     "--telemetry-out", str(out)]) == 0
+        assert f"telemetry manifest: {out}" in capsys.readouterr().out
+
+    def test_env_dir_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "tele"))
+        assert main(["demo", "--scale", "0.02"]) == 0
+        files = list((tmp_path / "tele").glob("run-*.jsonl"))
+        assert len(files) == 1
+        assert validate_manifest(files[0]) == []
+
+    def test_no_manifest_without_request(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert main(["demo", "--scale", "0.02"]) == 0
+        assert not list(tmp_path.glob("*.jsonl"))
+
+
+class TestTraceCommand:
+    def test_render(self, demo_manifest, capsys):
+        assert main(["trace", str(demo_manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "hot stages" in out
+        assert "studies.vulnerability" in out
+
+    def test_top_limits_hot_stages(self, demo_manifest, capsys):
+        assert main(["trace", str(demo_manifest), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert " 2. " in out and " 3. " not in out
+
+    def test_validate_ok(self, demo_manifest, capsys):
+        assert main(["trace", str(demo_manifest), "--validate"]) == 0
+        assert "manifest OK" in capsys.readouterr().out
+
+    def test_validate_rejects_damage(self, demo_manifest, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        lines = demo_manifest.read_text().strip().splitlines()
+        run = json.loads(lines[0])
+        run["schema_version"] = 99
+        bad.write_text("\n".join([json.dumps(run), *lines[1:]]) + "\n")
+        assert main(["trace", str(bad), "--validate"]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Metrics registry: instrument identity, values, snapshots, threads."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.value("c") == 5
+
+    def test_same_key_same_instrument(self, registry):
+        assert registry.counter("c", a="1") is registry.counter("c", a="1")
+
+    def test_labels_distinguish(self, registry):
+        registry.counter("c", mode="x").inc()
+        registry.counter("c", mode="y").inc(2)
+        assert registry.value("c", mode="x") == 1
+        assert registry.value("c", mode="y") == 2
+
+    def test_label_order_irrelevant(self, registry):
+        registry.counter("c", a="1", b="2").inc()
+        assert registry.counter("c", b="2", a="1").value == 1
+
+
+class TestGauge:
+    def test_set_and_max(self, registry):
+        g = registry.gauge("g")
+        g.set(3.0)
+        g.max(1.0)  # below: no-op
+        assert registry.value("g", kind="gauge") == 3.0
+        g.max(7.0)
+        assert registry.value("g", kind="gauge") == 7.0
+
+
+class TestHistogram:
+    def test_observe(self, registry):
+        h = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert (h.count, h.sum, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+        assert h.mean == 2.0
+
+    def test_empty_histogram(self, registry):
+        h = registry.histogram("h")
+        assert math.isnan(h.mean)
+        record = h.as_record()
+        assert record["min"] is None and record["max"] is None
+
+    def test_value_returns_count(self, registry):
+        registry.histogram("h").observe(9.0)
+        assert registry.value("h", kind="histogram") == 1
+
+
+class TestRegistry:
+    def test_value_absent_is_none(self, registry):
+        assert registry.value("nope") is None
+
+    def test_snapshot_records(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(2.0)
+        registry.histogram("c").observe(1.0)
+        records = registry.snapshot()
+        assert [r["kind"] for r in records] == [
+            "counter", "gauge", "histogram"
+        ]
+        assert all(r["type"] == "metric" for r in records)
+
+    def test_reset(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.value("a") is None
+        assert registry.snapshot() == []
+
+    def test_default_registry_is_process_wide(self):
+        assert get_metrics() is get_metrics()
+
+    def test_concurrent_increments_are_exact(self, registry):
+        counter = registry.counter("hot")
+
+        def burst():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=burst) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000

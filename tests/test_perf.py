@@ -1,0 +1,89 @@
+"""StageTimer/render_timings: rates, zero-duration stages, wide labels,
+and the tracer bridge."""
+
+import math
+
+from repro.obs import Tracer
+from repro.perf import StageTimer, StageTiming, render_timings
+
+
+class TestRowsPerS:
+    def test_normal_rate(self):
+        t = StageTiming("s", wall_s=2.0, rows=100)
+        assert t.rows_per_s == 50.0
+
+    def test_no_rows_is_nan(self):
+        assert math.isnan(StageTiming("s", wall_s=1.0).rows_per_s)
+
+    def test_zero_duration_is_nan(self):
+        # a stage can finish inside one clock tick; the rate must not
+        # divide by zero or render as "inf"
+        assert math.isnan(StageTiming("s", wall_s=0.0, rows=100).rows_per_s)
+
+    def test_render_matches_nan_semantics(self):
+        out = render_timings([
+            StageTiming("instant", wall_s=0.0, rows=100),
+            StageTiming("counted", wall_s=2.0, rows=100),
+            StageTiming("uncounted", wall_s=1.0),
+        ])
+        lines = {line.split()[0]: line for line in out.splitlines()}
+        assert lines["instant"].rstrip().endswith("-")
+        assert lines["counted"].rstrip().endswith("50")
+        assert lines["uncounted"].rstrip().endswith("-")
+        assert "inf" not in out
+
+
+class TestRenderWidth:
+    def test_long_labels_widen_the_column(self):
+        long = "a.particularly.long.stage.name.well.past.the.default"
+        out = render_timings([
+            StageTiming(long, wall_s=0.5, rows=10),
+            StageTiming("short", wall_s=0.5, rows=10),
+        ])
+        header, first, second, total = out.splitlines()[1:]
+        width = len(long)
+        # every row pads the stage column to the longest label
+        assert first.startswith(long + " ")
+        assert second.startswith("short".ljust(width) + " ")
+        assert total.startswith("total".ljust(width) + " ")
+        assert header.startswith("stage".ljust(width) + " ")
+
+    def test_note_counts_toward_width(self):
+        label = "stage.with.a.long.note"
+        note = "forty.two.workers.on.a.rainy.day"
+        out = render_timings([StageTiming(label, 0.1, note=note)])
+        assert f"{label}[{note}]" in out
+
+
+class TestTracerBridge:
+    def test_stage_records_and_spans(self):
+        tracer = Tracer()
+        timer = StageTimer()
+        with tracer.activate(root="run"):
+            with timer.stage("work") as st:
+                st.rows = 5
+                st.note = "cached"
+        (timing,) = timer.timings
+        assert (timing.stage, timing.rows, timing.note) == (
+            "work", 5, "cached"
+        )
+        span = next(s for s in tracer.spans if s.name == "work")
+        assert (span.rows, span.note) == (5, "cached")
+        assert abs(span.wall_s - timing.wall_s) < 1e-9
+
+    def test_stage_without_tracer_unchanged(self):
+        timer = StageTimer()
+        with timer.stage("plain") as st:
+            st.rows = 3
+        (timing,) = timer.timings
+        assert timing.rows == 3 and timing.wall_s >= 0.0
+
+    def test_nested_stages_nest_spans(self):
+        tracer = Tracer()
+        timer = StageTimer()
+        with tracer.activate(root="run"):
+            with timer.stage("outer"):
+                with timer.stage("inner"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id

@@ -1,0 +1,97 @@
+"""The span-tree renderer: self time, orphan roots, hot stages."""
+
+from repro.viz.trace import hot_stages, render_span_tree, render_trace
+
+
+def span(id, parent, name, wall, start=0.0, rows=-1, cpu=0.0):
+    return {
+        "id": id, "parent": parent, "name": name, "start_s": start,
+        "wall_s": wall, "cpu_s": cpu, "rows": rows, "note": "",
+    }
+
+
+TREE = [
+    span(1, None, "run", 10.0, start=0.0),
+    span(2, 1, "ingest", 6.0, start=0.1, rows=100),
+    span(3, 2, "chunk", 2.5, start=0.2),
+    span(4, 2, "chunk", 2.5, start=0.3),
+    span(5, 1, "filter", 1.0, start=7.0, rows=10),
+]
+
+
+class TestRenderSpanTree:
+    def test_indentation_follows_depth(self):
+        out = render_span_tree(TREE)
+        lines = out.splitlines()
+        assert any(line.startswith("run ") for line in lines)
+        assert any(line.startswith("  ingest") for line in lines)
+        assert any(line.startswith("    chunk") for line in lines)
+
+    def test_self_time_subtracts_direct_children(self):
+        out = render_span_tree(TREE)
+        ingest_line = next(
+            line for line in out.splitlines() if "ingest" in line
+        )
+        # ingest: 6.0 total, 2×2.5 children -> 1.0s self
+        assert "6000.00ms" in ingest_line
+        assert "1000.00ms" in ingest_line
+
+    def test_rows_column(self):
+        out = render_span_tree(TREE)
+        ingest_line = next(
+            line for line in out.splitlines() if "ingest" in line
+        )
+        assert ingest_line.rstrip().endswith("100")
+
+    def test_orphan_parent_becomes_root(self):
+        orphan = [span(7, 999, "lost", 1.0)]
+        out = render_span_tree(orphan)
+        assert any(
+            line.startswith("lost ") for line in out.splitlines()
+        )
+
+    def test_empty_spans(self):
+        out = render_span_tree([])
+        assert "span" in out  # header renders even with no rows
+
+
+class TestHotStages:
+    def test_ranking_by_aggregate_self_time(self):
+        ranked = hot_stages(TREE, top=5)
+        names = [name for name, *_ in ranked]
+        # chunk: 2×2.5=5.0 self beats run's 10-6-1=3.0
+        assert names[0] == "chunk"
+        assert names[1] == "run"
+        chunk = ranked[0]
+        assert chunk[1] == 5.0 and chunk[2] == 2
+
+    def test_share_of_root(self):
+        ranked = dict(
+            (name, share) for name, _, _, share in hot_stages(TREE)
+        )
+        assert abs(ranked["chunk"] - 0.5) < 1e-9
+
+    def test_top_truncates(self):
+        assert len(hot_stages(TREE, top=2)) == 2
+
+    def test_no_spans(self):
+        assert hot_stages([]) == []
+
+
+class TestRenderTrace:
+    def test_header_and_sections(self):
+        manifest = {
+            "run": {"git_rev": "abcdef1234567890", "config_fingerprint": "ff"},
+            "spans": TREE,
+            "metrics": [1, 2],
+            "observations": [],
+        }
+        out = render_trace(manifest, top=3)
+        assert "git abcdef123456" in out
+        assert "5 spans" in out and "2 metrics" in out
+        assert "span tree" in out and "hot stages" in out
+
+    def test_empty_manifest(self):
+        out = render_trace({"run": {}, "spans": [], "metrics": [],
+                            "observations": []})
+        assert "0 spans" in out
