@@ -1,6 +1,6 @@
 """Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Five subcommands::
+Six subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
@@ -9,6 +9,8 @@ Five subcommands::
         [--workers N] [--cache-dir DIR] [--no-cache] \
         [--telemetry-out run.jsonl]
     repro-coanalysis demo [--scale 0.1] [--workers N]
+    repro-coanalysis fleet [--machines N] [--windows K] [--out-dir store/] \
+        [--time-range T0:T1] [--check-equivalence]
     repro-coanalysis trace run.jsonl [--top N] [--validate]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
@@ -18,7 +20,11 @@ test); ``analyze`` runs the full §IV–§VI co-analysis on any pair of
 logs in that format (including real, dirty ones — see
 ``--on-bad-record``); ``demo`` does both in memory and prints the
 report. ``analyze`` exits with status 2 when ingestion rejects or
-aborts on a damaged log.
+aborts on a damaged log. ``fleet`` synthesizes (or reopens) an
+N-machine sharded store (:mod:`repro.store`), fans the co-analysis out
+per machine, and merges observations across the fleet with bootstrap
+CIs; ``--check-equivalence`` asserts the sharded run reproduces the
+batch pipeline bit-for-bit, and a degraded fleet exits 1.
 
 ``--telemetry-out PATH`` (or ``REPRO_TELEMETRY_DIR``) records the run's
 own telemetry — the hierarchical span tree, the metrics registry and
@@ -246,11 +252,8 @@ def _telemetry(args: argparse.Namespace) -> _TelemetryRun | None:
     return _TelemetryRun(Path(out), config)
 
 
-def _run_analysis(
-    args: argparse.Namespace, ras_log, job_log, extra_timings=(),
-    telemetry: _TelemetryRun | None = None,
-) -> int:
-    analysis = CoAnalysis(
+def _pipeline_from_args(args: argparse.Namespace) -> CoAnalysis:
+    return CoAnalysis(
         filters=FilterChain(
             temporal=TemporalFilter(threshold=args.temporal_threshold),
             spatial=SpatialFilter(threshold=args.spatial_threshold),
@@ -259,7 +262,14 @@ def _run_analysis(
         matcher=InterruptionMatcher(tolerance=args.tolerance),
         study_workers=getattr(args, "workers", 1),
     )
-    result = analysis.run(ras_log, job_log)
+
+
+def _run_analysis(
+    args: argparse.Namespace, ras_log, job_log, extra_timings=(),
+    telemetry: _TelemetryRun | None = None, source: str = "",
+) -> int:
+    analysis = _pipeline_from_args(args)
+    result = analysis.run(ras_log, job_log, source=source)
     if telemetry is not None:
         telemetry.observations = list(result.observations)
     print(result.report())
@@ -350,7 +360,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
         rc = _run_analysis(
             args, ras_log, job_log, extra_timings=timer.timings,
-            telemetry=telemetry,
+            telemetry=telemetry, source=f"{args.ras} + {args.job}",
         )
     if telemetry is not None and rc == 0:
         print(f"telemetry manifest: {telemetry.finish()}")
@@ -381,6 +391,140 @@ def cmd_demo(args: argparse.Namespace) -> int:
     if telemetry is not None and rc == 0:
         print(f"telemetry manifest: {telemetry.finish()}")
     return rc
+
+
+def _time_range_arg(text: str) -> tuple[float, float]:
+    """Parse ``T0:T1`` (epoch seconds) into a half-open query range."""
+    try:
+        lo, hi = text.split(":", 1)
+        t0, t1 = float(lo), float(hi)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"time range must be T0:T1 (epoch seconds), got {text!r}"
+        )
+    if t1 <= t0:
+        raise argparse.ArgumentTypeError(
+            f"time range must satisfy T0 < T1, got {text!r}"
+        )
+    return t0, t1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.simulate.fleet import store_fleet, synthesize_fleet
+    from repro.store import ShardedDataset, analyze_fleet
+    from repro.store.manifest import StoreError
+
+    telemetry = _telemetry(args)
+    with telemetry.activate() if telemetry else nullcontext():
+        with tempfile.TemporaryDirectory() as scratch:
+            root = Path(args.out_dir) if args.out_dir else Path(scratch)
+            fleet = None
+            try:
+                dataset = ShardedDataset.open(root)
+                print(
+                    f"opened store at {root}: "
+                    f"{len(dataset.machines())} machines, "
+                    f"{len(dataset.manifest.shards)} shards"
+                )
+            except StoreError:
+                profile = CalibrationProfile(
+                    seed=args.seed, scale=args.scale
+                )
+                t0 = time.time()
+                fleet = synthesize_fleet(profile, n_machines=args.machines)
+                dataset = store_fleet(root, fleet, windows=args.windows)
+                print(
+                    f"synthesized {len(fleet)} machines into {root} "
+                    f"({len(dataset.manifest.shards)} shards, "
+                    f"{args.windows} windows) in {time.time() - t0:.1f}s"
+                )
+            result = analyze_fleet(
+                dataset,
+                time_range=args.time_range,
+                workers=args.workers,
+                seed=args.seed,
+                pipeline_factory=lambda: _pipeline_from_args(args),
+            )
+            if telemetry is not None:
+                telemetry.observations = [
+                    o
+                    for ma in result.ok_machines
+                    for o in ma.result.observations
+                ]
+            print()
+            print(result.report())
+            if args.check_equivalence:
+                if fleet is None:
+                    print(
+                        "cannot check equivalence against an existing "
+                        "store (no batch logs in memory)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if args.time_range is not None:
+                    print(
+                        "equivalence check requires a full-span run "
+                        "(drop --time-range)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print()
+                if not _fleet_matches_batch(args, fleet, result):
+                    return 3
+    if telemetry is not None:
+        print(f"telemetry manifest: {telemetry.finish()}")
+    return 1 if result.degraded else 0
+
+
+def _obs_key(observations) -> list[tuple]:
+    """Comparable projection of an observation list.
+
+    Floats go through their IEEE bit pattern so bit-identical NaNs
+    compare equal (plain ``==`` would call them different).
+    """
+    import struct
+
+    def norm(v):
+        if isinstance(v, float):
+            return struct.pack("<d", v)
+        return v
+
+    return [
+        (
+            o.number,
+            o.holds,
+            o.available,
+            sorted((k, norm(v)) for k, v in o.measured.items()),
+        )
+        for o in observations
+    ]
+
+
+def _fleet_matches_batch(args, fleet, result) -> bool:
+    """Assert every machine's sharded observations == its batch run's."""
+    by_machine = {ma.machine: ma for ma in result.machines}
+    ok = True
+    for fm in fleet:
+        ma = by_machine.get(fm.machine)
+        if ma is None or not ma.ok:
+            print(f"equivalence {fm.machine}: FAILED (machine degraded)")
+            ok = False
+            continue
+        batch = _pipeline_from_args(args).run(fm.ras_log, fm.job_log)
+        sharded_obs = _obs_key(ma.result.observations)
+        batch_obs = _obs_key(batch.observations)
+        if sharded_obs == batch_obs:
+            print(
+                f"equivalence {fm.machine}: OK "
+                f"({len(batch_obs)} observations bit-identical)"
+            )
+        else:
+            print(f"equivalence {fm.machine}: FAILED (observations differ)")
+            ok = False
+    print(f"sharded == batch: {'OK' if ok else 'FAILED'}")
+    return ok
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -459,6 +603,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(p_demo)
     _add_telemetry_args(p_demo)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_fl = sub.add_parser(
+        "fleet",
+        help="synthesize an N-machine fleet, shard it, map-reduce the "
+             "co-analysis across machines",
+    )
+    p_fl.add_argument(
+        "--machines", type=int, default=3, metavar="N",
+        help="fleet size when synthesizing (default 3)",
+    )
+    p_fl.add_argument(
+        "--windows", type=int, default=4, metavar="K",
+        help="time windows per machine when sharding (default 4)",
+    )
+    p_fl.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="store root: reused when it already holds a store, "
+             "populated otherwise (default: a temporary directory)",
+    )
+    p_fl.add_argument(
+        "--time-range", type=_time_range_arg, default=None, metavar="T0:T1",
+        help="restrict the scan to [T0, T1) epoch seconds; out-of-range "
+             "shards are pruned unopened",
+    )
+    p_fl.add_argument(
+        "--check-equivalence", action="store_true",
+        help="also run each machine's logs through the batch pipeline "
+             "and assert the sharded observations are bit-identical "
+             "(exit 3 on mismatch)",
+    )
+    _add_profile_args(p_fl)
+    _add_analysis_args(p_fl)
+    _add_workers_arg(p_fl)
+    _add_telemetry_args(p_fl)
+    p_fl.set_defaults(func=cmd_fleet)
 
     p_tr = sub.add_parser(
         "trace", help="render or validate a telemetry run manifest"

@@ -96,6 +96,10 @@ class CoAnalysisResult:
     #: captured instead of killing the co-analysis
     stage_failures: tuple[StageFailure, ...] = ()
 
+    #: where the analyzed logs came from (a machine name in a fleet run,
+    #: a path pair for the CLI); empty for ad-hoc in-memory runs
+    source: str = ""
+
     # ------------------------------------------------------------------
 
     @property
@@ -166,8 +170,14 @@ class CoAnalysis:
     #: order either way
     study_workers: int = 0
 
-    def run(self, ras_log: RasLog, job_log: JobLog) -> CoAnalysisResult:
-        """Run the full co-analysis over one (RAS log, job log) pair."""
+    def run(
+        self, ras_log: RasLog, job_log: JobLog, source: str = ""
+    ) -> CoAnalysisResult:
+        """Run the full co-analysis over one (RAS log, job log) pair.
+
+        *source* is provenance only (stamped onto the result and shown
+        in the report header) — it never affects the analysis.
+        """
         timer = StageTimer()
         with timer.stage("extract") as st:
             events_raw = fatal_event_table(ras_log)
@@ -279,6 +289,7 @@ class CoAnalysis:
             same_location_resubmission_share=_same_location_share(
                 job_log, interruptions
             ),
+            source=source,
         )
         result.stage_failures = tuple(failures)
         if self.compute_observations_flag:

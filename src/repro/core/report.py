@@ -83,10 +83,12 @@ def _timings_section(r) -> str:
 def _header(r) -> str:
     days = r.duration / 86400.0
     cats = r.interruptions_by_category()
+    source = getattr(r, "source", "")
     return "\n".join(
         [
             "=" * 72,
-            "CO-ANALYSIS OF RAS LOG AND JOB LOG",
+            "CO-ANALYSIS OF RAS LOG AND JOB LOG"
+            + (f" [{source}]" if source else ""),
             "=" * 72,
             f"window: {days:.0f} days | jobs: {r.num_jobs}"
             f" (distinct: {r.num_distinct_jobs})",

@@ -116,21 +116,41 @@ class Frame:
 
         All rows must supply every column. *columns* pins the order (and is
         required when *rows* is empty). *dtypes* maps column names to the
-        dtype an **empty** frame should carry for that column — without it,
-        empty columns default to float64, which keeps numeric ops and
-        ``concat`` working (object-dtype empties poison both); string
-        columns of an empty frame need an explicit ``object`` hint.
+        dtype that column should carry whether or not rows are present:
+        without a hint, empty columns default to float64 (object-dtype
+        empties poison numeric ops and ``concat``) and all-null columns
+        come out object. With a hint the column is built at that dtype —
+        in particular a float hint turns ``None`` cells into NaN, so a
+        merge over empty shards keeps its numeric columns numeric
+        instead of drifting to object. An integer hint cannot represent
+        null; ``None`` cells under one raise instead of silently
+        promoting the column to float64.
         """
         rows = list(rows)
+        dtypes = dtypes or {}
         if not rows:
             if columns is None:
                 return cls()
-            dtypes = dtypes or {}
             return cls(
                 {c: np.array([], dtype=dtypes.get(c, np.float64)) for c in columns}
             )
         names = list(columns) if columns is not None else list(rows[0])
-        data = {name: [r[name] for r in rows] for name in names}
+        data: dict[str, Any] = {}
+        for name in names:
+            values = [r[name] for r in rows]
+            hint = dtypes.get(name)
+            if hint is None:
+                data[name] = values
+                continue
+            dtype = np.dtype(hint)
+            if dtype.kind in "iu" and any(v is None for v in values):
+                raise ValueError(
+                    f"column {name!r} has null cells; {dtype} cannot hold "
+                    "null — use a float dtype or fill the nulls"
+                )
+            # np.array(..., dtype=float) maps None -> NaN, which is the
+            # null representation every numeric column here wants
+            data[name] = np.array(values, dtype=dtype)
         return cls(data)
 
     # ------------------------------------------------------------------

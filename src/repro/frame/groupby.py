@@ -99,6 +99,15 @@ class GroupBy:
         if source is None:
             raise ValueError(f"aggregation {aggname!r} needs a source column")
         values = self._frame.col(source)
+        if aggname in ("sum", "mean") and values.dtype.kind == "O":
+            # An object column here is almost always null-drift from a
+            # rows-built frame (all-None cells); casting it would yield
+            # a silent float64-of-NaN result, so fail loudly instead.
+            raise TypeError(
+                f"cannot {aggname} object-dtype column {source!r}; "
+                "rebuild the frame with a numeric dtype hint "
+                "(Frame.from_rows dtypes=...) so nulls become NaN"
+            )
         if aggname == "sum":
             if values.dtype.kind in "biu":
                 # int sums stay int64; bincount weights would silently
@@ -163,4 +172,9 @@ class GroupBy:
         for key, sub in self.groups():
             res = fn(sub)
             rows.append({**key, **res})
-        return Frame.from_rows(rows, columns=None if rows else self._keys)
+        # key columns keep their source dtypes even when there are no
+        # groups — an empty apply() must concat cleanly with a full one
+        key_dtypes = {k: self._frame.col(k).dtype for k in self._keys}
+        return Frame.from_rows(
+            rows, columns=None if rows else self._keys, dtypes=key_dtypes
+        )

@@ -62,8 +62,10 @@ def read_ras_log(
     in parallel (0 = one per available CPU) with bit-identical output;
     *cache* consults a :class:`~repro.parallel.cache.ParseCache` first
     and stores successful parses for reruns. The ``cache_status``
-    attribute of the result reports ``"hit"`` / ``"miss"`` (``None``
-    when no cache is in play).
+    attribute of the result reports how the lookup resolved — ``"hit"``,
+    ``"miss"``, ``"stale"`` (schema drift) or ``"corrupt"`` (entry
+    present but unreadable, e.g. a truncated npz; re-parsed and
+    re-stored) — or ``None`` when no cache is in play.
     """
     from repro.frame import concat
     from repro.logs.ras import empty_ras_log
@@ -102,7 +104,7 @@ def read_ras_log(
         ]
         log = RasLog(concat(frames)) if frames else empty_ras_log()
     log.quarantine = None if pol.is_strict else report
-    log.cache_status = None if cache is None else "miss"
+    log.cache_status = None if cache is None else cache.last_status
     if key is not None:
         cache.store(key, log.frame, report)
     return log
@@ -154,7 +156,7 @@ def read_job_log(
         frame = read_delimited(path, policy=pol, report=report)
     log = JobLog(frame)
     log.quarantine = None if pol.is_strict else report
-    log.cache_status = None if cache is None else "miss"
+    log.cache_status = None if cache is None else cache.last_status
     if key is not None:
         cache.store(key, log.frame, report)
     return log

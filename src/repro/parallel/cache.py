@@ -199,20 +199,48 @@ class ParseCache:
         npz_path, json_path = self._paths(key)
         if not json_path.exists():
             return None, "miss"
+        # Stage 1: the sidecar. Unparseable JSON is a corrupt entry;
+        # parseable JSON of a different layout generation is stale.
         try:
             with open(json_path, "r", encoding="utf-8") as fh:
                 sidecar = json.load(fh)
-            if sidecar.get("version") != PARSE_SCHEMA_VERSION:
-                return None, "stale"
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None, "corrupt"
+        if not isinstance(sidecar, dict):
+            return None, "corrupt"
+        if sidecar.get("version") != PARSE_SCHEMA_VERSION:
+            return None, "stale"
+        # Stage 2: the columns. A truncated npz (partial atomic-write
+        # survivor, disk-full artifact) can fail anywhere — zip central
+        # directory gone, a member cut short, pickled values garbled —
+        # and np.load surfaces that zoo as zipfile/OS/value/pickle
+        # errors, sometimes only when the member is actually read. All
+        # of it is one condition: the entry is corrupt, fall through to
+        # a re-parse. The structural checks behind the decode catch the
+        # nastier survivors that *do* unpickle: short columns and codes
+        # pointing past their dictionary.
+        try:
             data = {}
+            n_rows = None
             with np.load(npz_path, allow_pickle=True) as npz:
                 for j, (name, encoding) in enumerate(sidecar["columns"]):
                     if encoding == "dict":
                         values = npz[f"{j}.values"]
                         codes = npz[f"{j}.codes"]
-                        data[name] = values[codes]
+                        if len(codes) and (
+                            codes.min() < 0 or codes.max() >= len(values)
+                        ):
+                            return None, "corrupt"
+                        column = values[codes]
                     else:
-                        data[name] = npz[f"{j}.raw"]
+                        column = npz[f"{j}.raw"]
+                    if column.ndim != 1:
+                        return None, "corrupt"
+                    if n_rows is None:
+                        n_rows = len(column)
+                    elif len(column) != n_rows:
+                        return None, "corrupt"
+                    data[name] = column
             return (Frame(data), sidecar["report"]), "hit"
         except Exception:
             return None, "corrupt"

@@ -108,7 +108,19 @@ def fit_weibull(samples: np.ndarray) -> WeibullFit:
         hi *= 2.0
     while shape_equation(lo) > 0.0 and lo > 1e-12:
         lo /= 2.0
-    k = float(optimize.brentq(shape_equation, lo, hi, xtol=1e-12, rtol=1e-12))
+    if shape_equation(hi) < 0.0:
+        # Samples distinct only in their last float bits: the profile
+        # equation has no root below the cap (the MLE shape diverges the
+        # same way truly identical samples make it diverge). Clamp to
+        # the cap — a near-degenerate spike distribution — instead of
+        # handing brentq two same-signed endpoints.
+        k = hi
+    elif shape_equation(lo) > 0.0:
+        k = lo
+    else:
+        k = float(
+            optimize.brentq(shape_equation, lo, hi, xtol=1e-12, rtol=1e-12)
+        )
     # scale^k = mean(x^k); evaluated in log space for the same reason.
     w = np.exp(k * (logx - log_max))
     scale = float(np.exp(log_max + np.log(w.mean()) / k))

@@ -14,6 +14,7 @@ from repro.viz.ascii import (
     series_table,
     sparkline,
 )
+from repro.viz.fleet import render_fleet_report
 from repro.viz.trace import hot_stages, render_span_tree, render_trace
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "series_table",
     "render_trace",
     "render_span_tree",
+    "render_fleet_report",
     "hot_stages",
 ]

@@ -216,11 +216,48 @@ class TestFromRowsDtypes:
         assert f["x"].dtype == np.float64
         assert f["y"].dtype == np.float64
 
-    def test_nonempty_rows_ignore_hints(self):
+    def test_nonempty_rows_honor_hints(self):
+        # the hint pins the dtype whether or not rows are present —
+        # before the shard-merge fix it was silently ignored here
         f = Frame.from_rows(
             [{"id": 1}, {"id": 2}], columns=["id"], dtypes={"id": np.float64}
         )
+        assert f["id"].dtype == np.float64
+        assert list(f["id"]) == [1.0, 2.0]
+
+    def test_nonempty_rows_without_hints_keep_inference(self):
+        f = Frame.from_rows([{"id": 1}, {"id": 2}], columns=["id"])
         assert f["id"].dtype == np.int64
+
+    def test_all_null_column_with_float_hint_becomes_nan(self):
+        # empty shards merge as None cells; a float hint keeps the
+        # column numeric instead of drifting to object dtype
+        f = Frame.from_rows(
+            [{"m": "a", "x": None}, {"m": "b", "x": None}],
+            columns=["m", "x"],
+            dtypes={"m": object, "x": np.float64},
+        )
+        assert f["x"].dtype == np.float64
+        assert np.isnan(f["x"]).all()
+
+    def test_partial_null_column_with_float_hint(self):
+        f = Frame.from_rows(
+            [{"x": 1.5}, {"x": None}], columns=["x"], dtypes={"x": np.float64}
+        )
+        assert f["x"].dtype == np.float64
+        assert f["x"][0] == 1.5 and np.isnan(f["x"][1])
+
+    def test_null_under_int_hint_raises(self):
+        # int64 cannot represent null: silent promotion to float64 was
+        # the dtype-drift bug, and silently dropping the hint was worse
+        with pytest.raises(ValueError, match="null"):
+            Frame.from_rows(
+                [{"n": 1}, {"n": None}], columns=["n"], dtypes={"n": np.int64}
+            )
+
+    def test_all_null_without_hint_stays_object(self):
+        f = Frame.from_rows([{"x": None}], columns=["x"])
+        assert f["x"].dtype == object
 
     def test_empty_frame_concats_with_typed_frame(self):
         empty = Frame.from_rows(

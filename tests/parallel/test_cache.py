@@ -101,27 +101,107 @@ class TestInvalidation:
     def test_schema_version_bump_misses(
         self, ras_file, cache, monkeypatch
     ):
+        # the version participates in the key, so a bump never even
+        # finds the old entry — a clean miss, not a stale hit
         read_ras_log(ras_file, policy="quarantine", cache=cache)
         monkeypatch.setattr(cache_mod, "PARSE_SCHEMA_VERSION", 9999)
         log = read_ras_log(ras_file, policy="quarantine", cache=cache)
         assert log.cache_status == "miss"
 
-    def test_corrupt_payload_is_a_miss_then_repaired(self, ras_file, cache):
+    def test_sidecar_version_drift_is_stale(self, ras_file, cache):
+        # an entry written by a different layout generation under the
+        # same key (hand-migrated cache dir) classifies as stale
+        import json
+
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        for sidecar in cache.directory.glob("*.json"):
+            payload = json.loads(sidecar.read_text())
+            payload["version"] = 9999
+            sidecar.write_text(json.dumps(payload))
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "stale"
+
+    def test_corrupt_payload_reparsed_then_repaired(self, ras_file, cache):
         first = read_ras_log(ras_file, policy="quarantine", cache=cache)
         for npz in cache.directory.glob("*.npz"):
             npz.write_bytes(b"not a zip archive")
         log = read_ras_log(ras_file, policy="quarantine", cache=cache)
-        assert log.cache_status == "miss"
+        assert log.cache_status == "corrupt"
+        assert_logs_identical(first, log)
         repaired = read_ras_log(ras_file, policy="quarantine", cache=cache)
         assert repaired.cache_status == "hit"
         assert_logs_identical(first, repaired)
 
-    def test_corrupt_sidecar_is_a_miss(self, ras_file, cache):
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.1, 0.5, 0.9, 0.99])
+    def test_truncated_npz_is_corrupt_then_repaired(
+        self, ras_file, cache, keep_fraction
+    ):
+        # a partial atomic-write survivor / disk-full artifact: the npz
+        # is readable as a file but cut short at an arbitrary point —
+        # classification must be "corrupt" and fall through to a
+        # re-parse, never raise out of the lookup
+        first = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert first.cache_status == "miss"
+        for npz in cache.directory.glob("*.npz"):
+            payload = npz.read_bytes()
+            npz.write_bytes(payload[: int(len(payload) * keep_fraction)])
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "corrupt"
+        assert_logs_identical(first, log)
+        # the re-parse re-stored a good entry
+        repaired = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert repaired.cache_status == "hit"
+        assert_logs_identical(first, repaired)
+
+    def test_truncated_npz_increments_corrupt_counter(self, ras_file, cache):
+        from repro.obs.metrics import get_metrics
+
+        get_metrics().reset()
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        for npz in cache.directory.glob("*.npz"):
+            payload = npz.read_bytes()
+            npz.write_bytes(payload[: len(payload) // 2])
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert (
+            get_metrics().value("ingest.cache.lookups", status="corrupt") == 1
+        )
+
+    def test_corrupt_sidecar_reparsed(self, ras_file, cache):
         read_ras_log(ras_file, policy="quarantine", cache=cache)
         for sidecar in cache.directory.glob("*.json"):
             sidecar.write_text("{broken json")
         log = read_ras_log(ras_file, policy="quarantine", cache=cache)
-        assert log.cache_status == "miss"
+        assert log.cache_status == "corrupt"
+
+    def test_mismatched_column_lengths_are_corrupt(self, ras_file, cache):
+        # a decodable entry whose columns disagree on length (the
+        # nastiest truncation survivor) must classify corrupt, not
+        # build a broken frame
+        import json
+
+        read_ras_log(ras_file, policy="quarantine", cache=cache)
+        for sidecar in cache.directory.glob("*.json"):
+            key = sidecar.stem
+            payload = json.loads(sidecar.read_text())
+            loaded = cache.load(key)
+            assert loaded is not None
+            frame, _ = loaded
+            short = frame.head(frame.num_rows - 1)
+            arrays = {}
+            for j, (name, encoding) in enumerate(
+                (c[0], c[1]) for c in payload["columns"]
+            ):
+                col = (frame if j == 0 else short)[name]
+                if encoding == "dict":
+                    values, codes = np.unique(col, return_inverse=True)
+                    arrays[f"{j}.values"] = values
+                    arrays[f"{j}.codes"] = codes.astype(np.int32)
+                else:
+                    arrays[f"{j}.raw"] = col
+            with open(cache.directory / f"{key}.npz", "wb") as fh:
+                np.savez(fh, **arrays)
+        log = read_ras_log(ras_file, policy="quarantine", cache=cache)
+        assert log.cache_status == "corrupt"
 
 
 class TestFailedParsesAreNotCached:

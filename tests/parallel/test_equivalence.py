@@ -289,6 +289,119 @@ class TestCrossChunkBoundaries:
         assert par_exc.value.text == serial_exc.value.text
 
 
+class TestAbortAtBoundaries:
+    """``max_bad_records`` aborts crossed exactly at a chunk boundary.
+
+    The abort must fire at the same record with the same report state
+    whether the fatal defect is the first row of a chunk, the last row
+    of the previous chunk, or mid-chunk — the merge replays defects in
+    global line order with the serial running ``total_rows``.
+    """
+
+    #: recids [1,2,1,3,2,4]: duplicates at row indices 2 and 4; with
+    #: max_bad_records=1 the second duplicate (line 6) is the abort
+    ROWS = ([1, 2, 1, 3, 2, 4], [100.0, 107.0, 114.0, 121.0, 128.0, 135.0])
+
+    def _abort_outcome_serial(self, path, policy):
+        with pytest.raises(IngestAbortError) as exc:
+            read_ras_log(path, policy=policy, workers=1)
+        return self._exc_state(exc.value)
+
+    def _abort_outcome_parallel(self, path, policy, bounds):
+        report = policy.new_report(str(path))
+        with pytest.raises(IngestAbortError) as exc:
+            parallel_read_ras_frame(
+                path, policy=policy, report=report, workers=4,
+                chunk_bounds=bounds,
+            )
+        return self._exc_state(exc.value)
+
+    @staticmethod
+    def _exc_state(exc):
+        rep = exc.report
+        return (
+            str(exc),
+            rep.total_rows,
+            rep.as_dict(),
+            {
+                d.value: [(r.line_no, r.defect, r.text) for r in recs]
+                for d, recs in rep.samples.items()
+            },
+        )
+
+    @pytest.mark.parametrize(
+        "splits",
+        [[4], [5], [2], [1, 4], [4, 5], [1, 2, 3, 4, 5]],
+        ids=["fatal-starts-chunk", "fatal-ends-chunk", "mid-chunk",
+             "both-dups-start-chunks", "fatal-alone", "one-row-chunks"],
+    )
+    def test_ras_abort_bit_identical(self, tmp_path, splits):
+        path = _write_rows(tmp_path, *self.ROWS)
+        policy = IngestPolicy(mode="quarantine", max_bad_records=1)
+        serial = self._abort_outcome_serial(path, policy)
+        bounds = _bounds_after(path, splits)
+        assert self._abort_outcome_parallel(path, policy, bounds) == serial
+
+    def test_ras_survives_when_under_limit(self, tmp_path):
+        # same file, limit 2: no abort, and the quarantine report is
+        # bit-identical with the fatal-free boundary placements
+        path = _write_rows(tmp_path, *self.ROWS)
+        policy = IngestPolicy(mode="quarantine", max_bad_records=2)
+        base = outcome(read_ras_log, path, policy, 1)
+        assert base[0] == "ok"
+        assert outcome(read_ras_log, path, policy, 4) == base
+
+    def _garbled_job_file(self, tmp_path, bad_rows):
+        jobs = [
+            make_job(job_id=i, start=1000.0 + 60.0 * i, end=1800.0 + 60.0 * i)
+            for i in range(1, 21)
+        ]
+        path = tmp_path / "job.log"
+        write_job_log(JobLog.from_records(jobs), path)
+        lines = path.read_text().splitlines(keepends=True)
+        for row in bad_rows:  # data row index -> physical line index row+1
+            lines[row + 1] = "completely garbled, no delimiters here\n"
+        path.write_text("".join(lines))
+        return path
+
+    @pytest.mark.parametrize("splits", [[7], [8], [3, 7], [7, 8]])
+    def test_delim_abort_bit_identical(self, tmp_path, splits):
+        from repro.frame.io import read_delimited
+        from repro.parallel import parallel_read_delimited
+
+        # bad data rows 3 and 7; limit 1 makes row 7 (line 9) the abort,
+        # and the splits pin it onto every side of a chunk boundary
+        path = self._garbled_job_file(tmp_path, bad_rows=[3, 7])
+        policy = IngestPolicy(mode="quarantine", max_bad_records=1)
+
+        report = policy.new_report(str(path))
+        with pytest.raises(IngestAbortError) as serial_exc:
+            read_delimited(path, policy=policy, report=report)
+        serial = self._exc_state(serial_exc.value)
+
+        par_report = policy.new_report(str(path))
+        with pytest.raises(IngestAbortError) as par_exc:
+            parallel_read_delimited(
+                path, policy=policy, report=par_report, workers=4,
+                chunk_bounds=_bounds_after(path, splits),
+            )
+        assert self._exc_state(par_exc.value) == serial
+
+    def test_delim_defect_order_across_boundary(self, tmp_path):
+        # non-aborting quarantine: samples must come out in global line
+        # order even when the defects land in different chunks
+        path = self._garbled_job_file(tmp_path, bad_rows=[4, 5, 6])
+        policy = IngestPolicy(mode="quarantine")
+        base = outcome(read_job_log, path, policy, 1)
+        assert base[0] == "ok"
+        for workers in (2, 4):
+            assert outcome(read_job_log, path, policy, workers) == base
+        samples = base[2][2]
+        for recs in samples.values():
+            line_nos = [line_no for line_no, _, _ in recs]
+            assert line_nos == sorted(line_nos)
+
+
 class TestReadDelimitedWorkers:
     def test_generic_frame_parallel_read(self, tmp_path):
         from repro.frame import Frame

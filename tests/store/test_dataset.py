@@ -1,0 +1,212 @@
+"""Sharded store correctness: roundtrips, pruning (proven via
+metrics, not trusted), manifest integrity and failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.simulate.fleet import store_fleet, synthesize_fleet
+from repro.simulate.calibration import CalibrationProfile
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    ShardedDataset,
+    StoreManifest,
+    partition_edges,
+)
+from repro.store.manifest import MANIFEST_NAME, StoreError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    """One small synthesized machine trace (module-scoped: simulation
+    dominates this file's runtime)."""
+    return synthesize_fleet(CalibrationProfile(seed=5, scale=0.02), 1)[0]
+
+
+def metric(name, **labels):
+    """Counter value, 0 when never incremented."""
+    return get_metrics().value(name, **labels) or 0
+
+
+def make_store(tmp_path, machine, windows):
+    ds = ShardedDataset.create(tmp_path / f"store_k{windows}")
+    ds.add_machine_trace(
+        machine.machine, machine.ras_log, machine.job_log, windows=windows
+    )
+    return ds
+
+
+def assert_frames_identical(a, b):
+    assert a.columns == b.columns
+    for col in a.columns:
+        assert a[col].dtype == b[col].dtype, col
+        assert np.array_equal(a[col], b[col]), col
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("windows", [1, 2, 7])
+    def test_scan_is_bit_identical_inverse(self, tmp_path, machine, windows):
+        ds = make_store(tmp_path, machine, windows)
+        assert_frames_identical(
+            ds.load_ras(machine.machine).frame, machine.ras_log.frame
+        )
+        assert_frames_identical(
+            ds.load_job(machine.machine).frame, machine.job_log.frame
+        )
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_mmap_and_memory_agree(self, tmp_path, machine, mmap):
+        ds = make_store(tmp_path, machine, 3)
+        assert_frames_identical(
+            ds.scan(machine.machine, "ras", mmap=mmap),
+            machine.ras_log.frame,
+        )
+
+    def test_reopen_and_scan(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 4)
+        reopened = ShardedDataset.open(ds.root)
+        assert reopened.machines() == [machine.machine]
+        assert_frames_identical(
+            reopened.load_ras(machine.machine).frame, machine.ras_log.frame
+        )
+
+    def test_validate_clean_store(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 2)
+        assert ds.validate(verify_hashes=True) == []
+
+    def test_time_range_scan_equals_batch_filter(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 6)
+        t = machine.ras_log.frame["event_time"]
+        q0 = float(np.quantile(t, 0.3))
+        q1 = float(np.quantile(t, 0.6))
+        got = ds.scan(machine.machine, "ras", time_range=(q0, q1))
+        want = machine.ras_log.frame.filter((t >= q0) & (t < q1))
+        assert_frames_identical(got, want)
+
+
+class TestPruning:
+    WINDOWS = 10
+
+    def _edges(self, machine):
+        spans = np.concatenate(
+            [
+                machine.ras_log.frame["event_time"],
+                machine.job_log.frame["start_time"],
+            ]
+        )
+        return partition_edges(
+            float(spans.min()), float(spans.max()), self.WINDOWS
+        )
+
+    def test_out_of_range_shards_never_opened(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, self.WINDOWS)
+        edges = self._edges(machine)
+        get_metrics().reset()
+        ds.scan(
+            machine.machine, "ras", time_range=(edges[4], edges[5])
+        )
+        assert metric("store.scan.shards", table="ras", status="opened") == 1
+        assert metric("store.scan.shards", table="ras", status="pruned") == 9
+        # the spy that proves it: pruned shards cause zero column loads
+        loads = metric("store.shard.column_loads", mode="mmap") + metric(
+            "store.shard.column_loads", mode="memory"
+        )
+        spec = ds.manifest.select(machine.machine, "ras")[0].columns
+        assert loads == len(spec)
+
+    def test_all_pruned_scan_touches_no_disk(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, self.WINDOWS)
+        t1 = float(machine.ras_log.frame["event_time"].max())
+        get_metrics().reset()
+        out = ds.scan(
+            machine.machine, "ras", time_range=(t1 + 1e6, t1 + 2e6)
+        )
+        assert out.num_rows == 0
+        assert metric("store.scan.shards", table="ras", status="pruned") == 10
+        assert metric("store.shard.column_loads", mode="mmap") == 0
+        assert metric("store.shard.column_loads", mode="memory") == 0
+        # typed empty: dtypes come from the manifest spec, not the disk
+        batch = machine.ras_log.frame
+        for col in batch.columns:
+            assert out[col].dtype == batch[col].dtype, col
+
+    def test_pruned_range_rows_match_batch(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, self.WINDOWS)
+        edges = self._edges(machine)
+        q = (float(edges[2]), float(edges[7]))
+        got = ds.scan(machine.machine, "job", time_range=q)
+        t = machine.job_log.frame["start_time"]
+        want = machine.job_log.frame.filter((t >= q[0]) & (t < q[1]))
+        assert_frames_identical(got, want)
+
+
+class TestFailureModes:
+    def test_open_missing_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            ShardedDataset.open(tmp_path / "nowhere")
+
+    def test_version_drift_raises(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 1)
+        manifest_path = ds.root / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["version"] = STORE_SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="version"):
+            ShardedDataset.open(ds.root)
+
+    def test_duplicate_machine_rejected(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 1)
+        with pytest.raises(StoreError, match="already"):
+            ds.add_machine_trace(
+                machine.machine, machine.ras_log, machine.job_log
+            )
+
+    def test_scan_unknown_machine_raises(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 1)
+        with pytest.raises(StoreError, match="no 'ras' shards"):
+            ds.scan("not-a-machine", "ras")
+
+    def test_scan_unknown_table_raises(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 1)
+        with pytest.raises(ValueError, match="unknown table"):
+            ds.scan(machine.machine, "events")
+
+    def test_validate_flags_missing_column_file(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 2)
+        victim = next(
+            f for f in ds.root.rglob("*.npy") if f.is_file()
+        )
+        victim.unlink()
+        problems = ds.validate()
+        assert any(victim.name in p for p in problems)
+
+    def test_validate_flags_hash_mismatch(self, tmp_path, machine):
+        ds = make_store(tmp_path, machine, 1)
+        victim = next(iter(sorted(ds.root.rglob("*.codes.npy"))))
+        codes = np.load(victim)
+        codes[0] = codes[0] ^ 1
+        np.save(victim, codes)
+        assert ds.validate(verify_hashes=False) == []
+        problems = ds.validate(verify_hashes=True)
+        assert any("hash" in p for p in problems)
+
+
+class TestPartitionEdges:
+    def test_edges_cover_span(self):
+        e = partition_edges(0.0, 100.0, 4)
+        assert list(e) == [0.0, 25.0, 50.0, 75.0, 100.0]
+
+    def test_zero_windows_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            partition_edges(0.0, 1.0, 0)
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            partition_edges(5.0, 1.0, 3)
+
+    def test_empty_manifest_has_no_machines(self, tmp_path):
+        ds = ShardedDataset.create(tmp_path / "empty")
+        assert ds.machines() == []
+        assert isinstance(ds.manifest, StoreManifest)
