@@ -1,6 +1,6 @@
 """Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Six subcommands::
+Seven subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
@@ -11,6 +11,9 @@ Six subcommands::
     repro-coanalysis demo [--scale 0.1] [--workers N]
     repro-coanalysis fleet [--machines N] [--windows K] [--out-dir store/] \
         [--time-range T0:T1] [--check-equivalence]
+    repro-coanalysis stream [--ras ... --job ... | --scale 0.1] \
+        [--increments K] [--checkpoint-dir DIR] [--resume] \
+        [--check-equivalence]
     repro-coanalysis trace run.jsonl [--top N] [--validate]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
@@ -25,6 +28,14 @@ N-machine sharded store (:mod:`repro.store`), fans the co-analysis out
 per machine, and merges observations across the fleet with bootstrap
 CIs; ``--check-equivalence`` asserts the sharded run reproduces the
 batch pipeline bit-for-bit, and a degraded fleet exits 1.
+
+``stream`` replays a trace through the incremental runner
+(:mod:`repro.stream`): the trace is cut into K watermarked increments
+and each is ingested against the open frontier only, printing rolling
+observations per increment; ``--checkpoint-dir`` persists resumable
+state after every increment (``--resume`` picks it back up), and
+``--check-equivalence`` asserts the streamed result is bit-identical
+to the one-shot batch pipeline (exit 3 on divergence).
 
 ``--telemetry-out PATH`` (or ``REPRO_TELEMETRY_DIR``) records the run's
 own telemetry — the hierarchical span tree, the metrics registry and
@@ -137,6 +148,15 @@ def _nonneg_int_arg(text: str) -> int:
     return value
 
 
+def _positive_int_arg(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text}"
+        )
+    return value
+
+
 def _workers_arg(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -207,7 +227,15 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
 
 
 class _TelemetryRun:
-    """One CLI run's telemetry: tracer, metrics and the manifest write."""
+    """One CLI run's telemetry: tracer, metrics and the manifest write.
+
+    The registry is process-wide and counters are monotone, so the run
+    takes a ``mark()`` baseline at construction and writes a delta
+    snapshot — back-to-back runs in one process each report their own
+    work instead of the second manifest carrying cumulative totals
+    (and unlike the old ``reset()``, a concurrent run's instruments
+    are not wiped out from under it).
+    """
 
     def __init__(self, out: Path, config: dict):
         from repro.obs import Tracer, get_metrics
@@ -216,7 +244,7 @@ class _TelemetryRun:
         self.config = config
         self.tracer = Tracer(sample_resources=True)
         self.metrics = get_metrics()
-        self.metrics.reset()
+        self._baseline = self.metrics.mark()
         self.observations: list = []
 
     def activate(self):
@@ -229,6 +257,7 @@ class _TelemetryRun:
             self.out,
             tracer=self.tracer,
             metrics=self.metrics,
+            metrics_since=self._baseline,
             config=self.config,
             observations=self.observations,
         )
@@ -527,6 +556,114 @@ def _fleet_matches_batch(args, fleet, result) -> bool:
     return ok
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.stream import (
+        StreamError,
+        StreamingCoAnalysis,
+        diff_results,
+        load_checkpoint,
+        save_checkpoint,
+        split_trace,
+    )
+
+    if bool(args.ras) != bool(args.job):
+        print(
+            "stream needs both --ras and --job (or neither, to simulate)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    telemetry = _telemetry(args)
+    rc = 0
+    with telemetry.activate() if telemetry else nullcontext():
+        if args.ras:
+            policy = _ingest_policy(args)
+            try:
+                ras_log = read_ras_log(
+                    args.ras, policy=policy, workers=args.workers
+                )
+                job_log = read_job_log(
+                    args.job, policy=policy, workers=args.workers
+                )
+            except IngestAbortError as exc:
+                print(f"ingestion aborted: {exc}", file=sys.stderr)
+                return 2
+            except IngestError as exc:
+                print(f"ingestion rejected a bad record: {exc}", file=sys.stderr)
+                return 2
+            source = f"{args.ras} + {args.job}"
+        else:
+            profile = CalibrationProfile(seed=args.seed, scale=args.scale)
+            trace = IntrepidSimulation(profile).run()
+            ras_log, job_log = trace.ras_log, trace.job_log
+            source = "stream demo"
+
+        runner = None
+        if args.resume:
+            try:
+                runner = load_checkpoint(
+                    args.checkpoint_dir, pipeline=_pipeline_from_args(args)
+                )
+                runner.source = source
+                print(
+                    f"resumed {args.checkpoint_dir}: watermark="
+                    f"{runner.watermark:.0f}, "
+                    f"{runner.increments} increments already ingested"
+                )
+            except StreamError as exc:
+                print(f"cannot resume: {exc}", file=sys.stderr)
+                return 2
+        if runner is None:
+            runner = StreamingCoAnalysis(
+                pipeline=_pipeline_from_args(args), source=source
+            )
+
+        for inc in split_trace(ras_log, job_log, increments=args.increments):
+            if inc.watermark <= runner.watermark:
+                continue  # covered by the resumed checkpoint
+            u = runner.ingest_increment(inc)
+            fit = ""
+            if u.fit is not None:
+                delta = (
+                    "" if math.isnan(u.shape_delta)
+                    else f" (shape {u.shape_delta:+.4f})"
+                )
+                fit = f" weibull={u.fit.shape:.4f}/{u.fit.scale:.1f}{delta}"
+            print(
+                f"increment {u.index}: watermark={u.watermark:.0f}"
+                f" raw={u.events_raw} spatial={u.after_spatial}"
+                f" pending={u.pending_events} pairs={u.pairs_emitted}"
+                f" rate={u.interruption_rate_per_day:.2f}/day{fit}"
+            )
+            if args.checkpoint_dir:
+                save_checkpoint(runner, args.checkpoint_dir)
+        result = runner.result()
+        if telemetry is not None:
+            telemetry.observations = list(result.observations)
+        print()
+        print(result.report())
+
+        if args.check_equivalence:
+            batch = _pipeline_from_args(args).run(
+                ras_log, job_log, source=source
+            )
+            diffs = diff_results(result, batch)
+            print()
+            for diff in diffs:
+                print(f"equivalence: {diff}")
+            print(f"stream == batch: {'OK' if not diffs else 'FAILED'}")
+            if diffs:
+                rc = 3
+    if telemetry is not None and rc == 0:
+        print(f"telemetry manifest: {telemetry.finish()}")
+    return rc
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_manifest, validate_manifest
     from repro.viz import render_trace
@@ -638,6 +775,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(p_fl)
     _add_telemetry_args(p_fl)
     p_fl.set_defaults(func=cmd_fleet)
+
+    p_st = sub.add_parser(
+        "stream",
+        help="replay a trace through the incremental streaming runner "
+             "(watermarked increments, rolling observations)",
+    )
+    p_st.add_argument(
+        "--ras", default=None,
+        help="RAS log to replay (with --job); omit both to simulate",
+    )
+    p_st.add_argument("--job", default=None, help="job log to replay")
+    p_st.add_argument(
+        "--increments", type=_positive_int_arg, default=4, metavar="K",
+        help="number of watermarked increments to cut the trace into "
+             "(default 4); the result is bit-identical for any K",
+    )
+    p_st.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist resumable frontier state here after every "
+             "increment (see DESIGN §12 for the format)",
+    )
+    p_st.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir, skipping increments the "
+             "checkpoint already covers",
+    )
+    p_st.add_argument(
+        "--check-equivalence", action="store_true",
+        help="also run the one-shot batch pipeline and assert the "
+             "streamed result is bit-identical (exit 3 on divergence)",
+    )
+    _add_profile_args(p_st)
+    _add_analysis_args(p_st)
+    _add_ingest_args(p_st)
+    _add_workers_arg(p_st)
+    _add_telemetry_args(p_st)
+    p_st.set_defaults(func=cmd_stream)
 
     p_tr = sub.add_parser(
         "trace", help="render or validate a telemetry run manifest"

@@ -195,6 +195,42 @@ class CoAnalysis:
             st.rows = match.pairs.num_rows
         timer.extend(match.timings)
 
+        return self.complete(
+            events_filtered=events_filtered,
+            match=match,
+            job_log=job_log,
+            filter_stats=self.filters.stats,
+            window=_window(ras_log, job_log),
+            timer=timer,
+            source=source,
+        )
+
+    def complete(
+        self,
+        *,
+        events_filtered: FatalEventTable,
+        match: MatchResult,
+        job_log: JobLog,
+        filter_stats: FilterStats,
+        window: tuple[float, float],
+        timer: StageTimer | None = None,
+        source: str = "",
+    ) -> CoAnalysisResult:
+        """Everything downstream of matching: identify → classify →
+        job-filter → studies → observations.
+
+        Split out of :meth:`run` so the streaming runner
+        (:mod:`repro.stream`) can feed its incrementally-accumulated
+        filtered events, match and job log through the *identical*
+        downstream code — the K-increment bit-identity guarantee then
+        only has to hold up to this boundary. *window* is the
+        ``(t_start, duration)`` pair :func:`_window` derives from the
+        logs (streaming tracks the spans across increments instead).
+        """
+        if timer is None:
+            timer = StageTimer()
+        t_start, duration = window
+
         with timer.stage("identify") as st:
             identification = self.identifier.identify(match.type_cases)
             st.rows = match.type_cases.num_rows
@@ -243,7 +279,6 @@ class CoAnalysis:
                 ),
                 fallback=_empty_categorized(match.interruptions),
             )
-            t_start, duration = _window(ras_log, job_log)
             studies, workers_used = self._run_studies(
                 events_filtered=events_filtered,
                 events_final=events_final,
@@ -267,7 +302,7 @@ class CoAnalysis:
                 st.note = f"{workers_used} workers"
 
         result = CoAnalysisResult(
-            filter_stats=self.filters.stats,
+            filter_stats=filter_stats,
             events_filtered=events_filtered,
             events_final=events_final,
             match=match,

@@ -22,6 +22,7 @@ quarantine/skip policies divert bad rows and keep parsing.
 from __future__ import annotations
 
 import io as _io
+import math
 import re
 from pathlib import Path
 from typing import IO
@@ -43,6 +44,22 @@ _PARSERS = {
 
 _BOM = "\ufeff"
 _ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def format_float(v: float) -> str:
+    """Serialize one float cell so the round-trip is bit-lossless.
+
+    ``repr`` is exact for every finite value (shortest round-tripping
+    decimal, ``-0.0`` included) and for infinities, but collapses every
+    NaN to the string ``'nan'`` \u2014 losing the sign bit, which matters to
+    the bit-pattern equivalence checks downstream. CPython's float
+    parser accepts ``'-nan'`` and restores the sign, so negative NaNs
+    are spelled out explicitly.
+    """
+    v = float(v)
+    if math.isnan(v):
+        return "-nan" if math.copysign(1.0, v) < 0 else "nan"
+    return repr(v)
 
 
 def escape_cell(text: str, sep: str = "|") -> str:
@@ -96,7 +113,7 @@ def write_delimited(frame: Frame, target: str | Path | IO[str], sep: str = "|") 
                     np.array([escape_cell(v, sep) for v in col], dtype=object)
                 )
             elif col.dtype.kind == "f":
-                str_cols.append(np.array([repr(float(v)) for v in col], dtype=object))
+                str_cols.append(np.array([format_float(v) for v in col], dtype=object))
             else:
                 str_cols.append(col.astype(str).astype(object))
         # join whole column batches instead of formatting row by row:

@@ -121,6 +121,18 @@ class JobLog:
             self.frame["end_time"].max()
         )
 
+    def select_time(self, t0: float, t1: float) -> "JobLog":
+        """Jobs with ``t0 <= start_time < t1`` (half-open, like every
+        time window in the repo — see DESIGN §12).
+
+        Jobs belong to the window their *start* falls in regardless of
+        when they end, so consecutive half-open windows partition a log
+        without duplicating or dropping a job whose start lands exactly
+        on a cut.
+        """
+        t = self.frame["start_time"]
+        return JobLog(self.frame.filter((t >= t0) & (t < t1)))
+
     def running_at(self, t: float) -> "JobLog":
         """Jobs running at instant *t* (start inclusive, end exclusive)."""
         f = self.frame

@@ -156,7 +156,9 @@ class RasLog:
         return float(t.min()), float(t.max())
 
     def select_time(self, t0: float, t1: float) -> "RasLog":
-        """Events with ``t0 <= event_time < t1``."""
+        """Events with ``t0 <= event_time < t1`` (half-open — the
+        repo-wide window convention, so consecutive windows partition a
+        log without duplicating boundary events)."""
         t = self.frame["event_time"]
         return RasLog(self.frame.filter((t >= t0) & (t < t1)))
 

@@ -98,6 +98,7 @@ def write_manifest(
     *,
     tracer=None,
     metrics=None,
+    metrics_since: dict | None = None,
     config: dict | None = None,
     observations=(),
     extra: dict | None = None,
@@ -105,8 +106,12 @@ def write_manifest(
     """Write one run manifest; returns the path written.
 
     *tracer* supplies the span tree, *metrics* the registry snapshot;
-    either may be ``None``. *config* (JSON-safe dict) is embedded in
-    the ``run`` record along with its fingerprint and the git revision.
+    either may be ``None``. *metrics_since* (a
+    :meth:`~repro.obs.metrics.MetricsRegistry.mark` baseline taken at
+    run start) makes the metric records **per-run deltas** — without it
+    a second run in the same process would report cumulative counter
+    totals. *config* (JSON-safe dict) is embedded in the ``run`` record
+    along with its fingerprint and the git revision.
     """
     path = Path(path)
     if path.parent != Path(""):
@@ -126,7 +131,7 @@ def write_manifest(
     if tracer is not None:
         lines.extend(span.as_record() for span in tracer.spans)
     if metrics is not None:
-        lines.extend(metrics.snapshot())
+        lines.extend(metrics.snapshot(since=metrics_since))
     lines.extend(_observation_record(o) for o in observations)
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w", encoding="utf-8") as fh:

@@ -12,8 +12,16 @@ lookup amortised away by caching the instrument reference, plus a
 locked integer add per event, at chunk/stage granularity — never per
 log line except for quarantined defects) that there is no enable flag
 to thread through the call sites. :func:`get_metrics` returns the
-process-wide default registry; tests and the CLI call
-:meth:`MetricsRegistry.reset` at run start for a clean slate.
+process-wide default registry.
+
+Counters are monotone for the life of the process, so a manifest that
+naively snapshots the registry after the *second* run in one process
+reports cumulative totals, not that run's work. Run-scoped exporters
+therefore take a :meth:`MetricsRegistry.mark` baseline at run start and
+write :meth:`MetricsRegistry.snapshot` ``(since=baseline)``, which
+emits per-run deltas (and per-window min/max for histograms).
+:meth:`MetricsRegistry.reset` still exists for tests that want a truly
+empty registry.
 """
 
 from __future__ import annotations
@@ -45,13 +53,18 @@ class Counter:
         with self._lock:
             self.value += n
 
-    def as_record(self) -> dict:
+    def mark_state(self):
+        """Baseline for a delta snapshot (see ``MetricsRegistry.mark``)."""
+        with self._lock:
+            return self.value
+
+    def as_record(self, base=None) -> dict:
         return {
             "type": "metric",
             "kind": self.kind,
             "name": self.name,
             "labels": self.labels,
-            "value": self.value,
+            "value": self.value - (base or 0),
         }
 
 
@@ -77,7 +90,11 @@ class Gauge:
             if value > self.value:
                 self.value = value
 
-    def as_record(self) -> dict:
+    def mark_state(self):
+        """Gauges are levels, not totals: nothing to rebase."""
+        return None
+
+    def as_record(self, base=None) -> dict:
         return {
             "type": "metric",
             "kind": self.kind,
@@ -91,7 +108,10 @@ class Histogram:
     """Streaming summary of observed values (count/sum/min/max)."""
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_lock")
+    __slots__ = (
+        "name", "labels", "count", "sum", "min", "max",
+        "_win_min", "_win_max", "_lock",
+    )
 
     def __init__(self, name: str, labels: dict, lock: threading.Lock):
         self.name = name
@@ -100,6 +120,10 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # extremes since the last mark (delta snapshots report these,
+        # so one run's outlier never leaks into the next run's manifest)
+        self._win_min = float("inf")
+        self._win_max = float("-inf")
         self._lock = lock
 
     def observe(self, value: float) -> None:
@@ -111,21 +135,40 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if value < self._win_min:
+                self._win_min = value
+            if value > self._win_max:
+                self._win_max = value
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
-    def as_record(self) -> dict:
+    def mark_state(self):
+        """Baseline (count, sum) for a delta snapshot; re-opens the
+        min/max window. Marks are run boundaries, not re-entrant —
+        overlapping marked runs would share one window."""
+        with self._lock:
+            self._win_min = float("inf")
+            self._win_max = float("-inf")
+            return (self.count, self.sum)
+
+    def as_record(self, base=None) -> dict:
+        count0, sum0 = base if base is not None else (0, 0.0)
+        count = self.count - count0
+        if base is None:
+            lo, hi = self.min, self.max
+        else:
+            lo, hi = self._win_min, self._win_max
         return {
             "type": "metric",
             "kind": self.kind,
             "name": self.name,
             "labels": self.labels,
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
+            "count": count,
+            "sum": self.sum - sum0,
+            "min": lo if count else None,
+            "max": hi if count else None,
         }
 
 
@@ -162,13 +205,32 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> list[dict]:
-        """Manifest records for every instrument, sorted by identity."""
+    def mark(self) -> dict:
+        """A baseline of every instrument for per-run delta snapshots.
+
+        Pass the returned mapping to :meth:`snapshot` as *since* to get
+        each instrument's activity **after** this call — the fix for
+        counters accumulating across successive pipeline runs in one
+        process. Instruments born after the mark delta against zero.
+        Marking also re-opens every histogram's min/max window.
+        """
         with self._lock:
             instruments = list(self._instruments.items())
-        return [inst.as_record() for _, inst in sorted(
-            instruments, key=lambda kv: kv[0]
-        )]
+        return {key: inst.mark_state() for key, inst in instruments}
+
+    def snapshot(self, since: dict | None = None) -> list[dict]:
+        """Manifest records for every instrument, sorted by identity.
+
+        With *since* (a :meth:`mark` baseline), counter values and
+        histogram count/sum/min/max are per-window deltas; gauges are
+        levels and always report their current value.
+        """
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return [
+            inst.as_record(None if since is None else since.get(key))
+            for key, inst in sorted(instruments, key=lambda kv: kv[0])
+        ]
 
     def value(self, name: str, kind: str = "counter", **labels) -> object:
         """The current value of one instrument, or ``None`` if absent.

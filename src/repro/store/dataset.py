@@ -55,10 +55,15 @@ def partition_edges(t0: float, t1: float, windows: int) -> np.ndarray:
 
 
 def _window_mask(t: np.ndarray, edges: np.ndarray, i: int) -> np.ndarray:
-    """Rows of window *i*: ``[edges[i], edges[i+1])``, last window closed
-    on the right so the span's maximum lands somewhere."""
-    if i == len(edges) - 2:
-        return (t >= edges[i]) & (t <= edges[i + 1])
+    """Rows of window *i*: uniformly half-open ``[edges[i], edges[i+1])``.
+
+    Every window — the last included — follows the repo-wide half-open
+    convention, so no row can land in two windows however the edges are
+    chosen. The partitioner covers the span's maximum by bumping the
+    final edge one ulp past it (:func:`repro.stream.windows.coverage_edges`
+    does the same for streaming increments) instead of closing the last
+    window on the right.
+    """
     return (t >= edges[i]) & (t < edges[i + 1])
 
 
@@ -120,6 +125,9 @@ class ShardedDataset:
         else:
             t0 = t1 = 0.0
         edges = partition_edges(t0, t1, windows)
+        # half-open windows everywhere: cover the span maximum by
+        # nudging the last edge just past it
+        edges[-1] = np.nextafter(edges[-1], np.inf)
 
         new_shards: list[ShardInfo] = []
         with maybe_span(
@@ -135,6 +143,61 @@ class ShardedDataset:
                     new_shards.append(
                         self._write_shard(machine, table, i, part)
                     )
+            if sp is not None:
+                sp.rows = sum(s.rows for s in new_shards)
+        self.manifest.shards.extend(new_shards)
+        write_store_manifest(self.root, self.manifest)
+        return new_shards
+
+    def append_machine_window(
+        self,
+        machine: str,
+        ras_log: RasLog,
+        job_log: JobLog,
+    ) -> list[ShardInfo]:
+        """Append one new time window to an existing machine.
+
+        The incremental counterpart of :meth:`add_machine_trace`: the
+        chunk becomes the machine's next window ordinal (one new shard
+        per table), existing shard files are never rewritten, and the
+        manifest is extended json-last — a crash mid-append leaves the
+        previous manifest authoritative and the old shards untouched.
+
+        Appends are half-open in time like every window: each table's
+        chunk must start at or after that table's current envelope
+        maximum (``event_time`` for ras, ``start_time`` for jobs), so
+        window order remains time order and :meth:`scan` keeps
+        reassembling the full trace bit-identically.
+        """
+        existing = self.manifest.select(machine=machine)
+        if not existing:
+            raise StoreError(
+                f"machine {machine!r} not in store; use add_machine_trace"
+            )
+        window = max(s.window for s in existing) + 1
+        new_shards: list[ShardInfo] = []
+        with maybe_span(
+            "store.append", machine=machine, window=window
+        ) as sp:
+            for table, frame in (
+                ("ras", ras_log.frame),
+                ("job", job_log.frame),
+            ):
+                t = frame[TIME_COLUMN[table]]
+                prior = [
+                    s.time_max
+                    for s in existing
+                    if s.table == table and s.rows
+                ]
+                if len(t) and prior and float(t.min()) < max(prior):
+                    raise StoreError(
+                        f"append to {machine!r}/{table} out of order: chunk "
+                        f"starts at {float(t.min())} before the stored "
+                        f"envelope maximum {max(prior)}"
+                    )
+                new_shards.append(
+                    self._write_shard(machine, table, window, frame)
+                )
             if sp is not None:
                 sp.rows = sum(s.rows for s in new_shards)
         self.manifest.shards.extend(new_shards)

@@ -1,0 +1,108 @@
+"""Half-open increment windows and trace replay cuts.
+
+Every time window in the repo is half-open ``[t0, t1)`` — RAS/job
+selection, store shards, fleet partitions and streaming increments all
+share the convention, so an event landing exactly on a cut belongs to
+exactly one side of it. A grid of half-open windows cannot contain the
+span's closed maximum unless the final edge sits *past* it;
+:func:`coverage_edges` therefore bumps the last edge one ulp beyond
+``t1`` instead of special-casing the last window as closed (the bug the
+store partitioner used to carry).
+
+:func:`split_trace` replays a recorded (RAS, job) pair as the increment
+sequence a live feed would have delivered: RAS records cut by
+``event_time``, jobs by ``start_time``, each increment's watermark being
+its exclusive upper edge. Replaying the increments through
+:class:`repro.stream.StreamingCoAnalysis` reproduces the batch pipeline
+bit-identically — the equivalence the streaming tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.logs.job import JobLog
+from repro.logs.ras import RasLog
+
+__all__ = ["Increment", "coverage_edges", "split_trace"]
+
+
+def coverage_edges(t0: float, t1: float, windows: int) -> np.ndarray:
+    """``windows + 1`` edges whose half-open windows cover ``[t0, t1]``.
+
+    Equal-width over the span, except the final edge is nudged one ulp
+    past ``t1`` so the closed maximum falls inside the last half-open
+    window. Degenerate spans (``t0 == t1``) yield one non-empty last
+    window ``[t1, t1 + ulp)`` and empty ones before it.
+    """
+    if windows < 1:
+        raise ValueError(f"need at least one window, got {windows}")
+    if not t1 >= t0:
+        raise ValueError(f"invalid span [{t0}, {t1}]")
+    edges = np.linspace(t0, t1, windows + 1)
+    edges[-1] = np.nextafter(edges[-1], np.inf)
+    return edges
+
+
+@dataclass(frozen=True)
+class Increment:
+    """One replayed increment: the chunk pair plus its watermark."""
+
+    index: int
+    t0: float
+    #: exclusive upper edge of the increment — the event-time watermark
+    #: the producer asserts ("everything before this has arrived")
+    watermark: float
+    ras: RasLog
+    job: JobLog
+
+
+def split_trace(
+    ras_log: RasLog,
+    job_log: JobLog,
+    increments: int | None = None,
+    edges: np.ndarray | list[float] | None = None,
+) -> list[Increment]:
+    """Cut a batch trace into the increments a live feed would deliver.
+
+    Either *increments* (equal-width cuts over the union time span via
+    :func:`coverage_edges`) or explicit *edges* (ascending, with
+    ``edges[-1]`` strictly above every record — boundary tests pin cuts
+    exactly on event times this way). RAS records go to the window of
+    their ``event_time``, jobs to the window of their ``start_time``;
+    both selections are half-open, so a record sitting exactly on a cut
+    lands in the increment the cut opens, never in two.
+    """
+    if (increments is None) == (edges is None):
+        raise ValueError("pass exactly one of increments= or edges=")
+    if edges is None:
+        spans = []
+        if len(ras_log):
+            spans.append(ras_log.time_span())
+        if len(job_log):
+            t = job_log.frame["start_time"]
+            spans.append((float(t.min()), float(t.max())))
+        if not spans:
+            t0 = t1 = 0.0
+        else:
+            t0 = min(s[0] for s in spans)
+            t1 = max(s[1] for s in spans)
+        edges = coverage_edges(t0, t1, increments)
+    edges = np.asarray(edges, dtype=np.float64)
+    if len(edges) < 2 or np.any(np.diff(edges) < 0):
+        raise ValueError("edges must be at least two ascending values")
+    out = []
+    for i in range(len(edges) - 1):
+        lo, hi = float(edges[i]), float(edges[i + 1])
+        out.append(
+            Increment(
+                index=i,
+                t0=lo,
+                watermark=hi,
+                ras=ras_log.select_time(lo, hi),
+                job=job_log.select_time(lo, hi),
+            )
+        )
+    return out

@@ -128,3 +128,58 @@ class TestTolerantDecoding:
         assert back.num_rows == 3
         for c in mixed.columns:
             assert (back[c] == mixed[c]).all()
+
+
+class TestFloatBitRoundTrip:
+    """Serialization is repr-based (shortest round-tripping decimal),
+    so every IEEE-754 double — specials included — survives write/read
+    with its exact bit pattern. Regression for the old '%.17g'
+    formatter that collapsed NaN signs and spelled -0.0 ambiguously."""
+
+    def _specials(self):
+        return np.array(
+            [
+                0.1,
+                0.1 + 0.2,
+                -0.0,
+                0.0,
+                float("inf"),
+                float("-inf"),
+                float("nan"),
+                -float("nan"),
+                5e-324,  # smallest subnormal
+                1.7976931348623157e308,  # largest finite
+                1 / 3,
+            ],
+            dtype=np.float64,
+        )
+
+    def test_string_roundtrip_is_bit_identical(self):
+        f = Frame({"x": self._specials()})
+        back = from_string(to_string(f))
+        assert back["x"].dtype == np.float64
+        assert np.array_equal(
+            back["x"].view(np.uint64), f["x"].view(np.uint64)
+        )
+
+    def test_file_roundtrip_is_bit_identical(self, tmp_path):
+        f = Frame({"x": self._specials()})
+        p = tmp_path / "floats.psv"
+        write_delimited(f, p)
+        back = read_delimited(p)
+        assert np.array_equal(
+            back["x"].view(np.uint64), f["x"].view(np.uint64)
+        )
+
+    def test_nan_sign_preserved(self):
+        from repro.frame.io import format_float
+
+        assert format_float(float("nan")) == "nan"
+        assert format_float(-float("nan")) == "-nan"
+        assert np.signbit(float("-nan"))
+
+    def test_negative_zero_distinguished(self):
+        from repro.frame.io import format_float
+
+        assert format_float(-0.0) == "-0.0"
+        assert format_float(0.0) == "0.0"

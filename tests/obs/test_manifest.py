@@ -147,3 +147,23 @@ class TestRecordBench:
         record_bench("x", "v", 2.0, directory=tmp_path)
         records = json.loads((tmp_path / "BENCH_x.json").read_text())
         assert len(records) == 1
+
+
+class TestPerRunMetricDeltas:
+    def test_two_back_to_back_runs_write_equal_counters(self, tmp_path):
+        """Two identical runs in one process: the second manifest's
+        counters must equal the first's, not double them."""
+        registry = MetricsRegistry()
+
+        def run(n):
+            base = registry.mark()
+            registry.counter("kernel.filter.raw").inc(10)
+            registry.histogram("stage.wall").observe(0.25)
+            path = tmp_path / f"run{n}.jsonl"
+            write_manifest(path, metrics=registry, metrics_since=base)
+            return read_manifest(path)["metrics"]
+
+        first, second = run(1), run(2)
+        assert first == second
+        raw = [m for m in first if m["name"] == "kernel.filter.raw"]
+        assert raw and raw[0]["value"] == 10

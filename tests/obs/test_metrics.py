@@ -98,3 +98,51 @@ class TestRegistry:
         for t in threads:
             t.join()
         assert counter.value == 8000
+
+
+class TestMarkDelta:
+    """Per-run delta snapshots: the fix for counters (and histogram
+    windows) accumulating across successive runs in one process."""
+
+    def test_counter_deltas_against_mark(self, registry):
+        registry.counter("events").inc(3)
+        base = registry.mark()
+        registry.counter("events").inc(2)
+        (rec,) = registry.snapshot(since=base)
+        assert rec["value"] == 2
+        # an un-marked snapshot still reports the cumulative total
+        assert registry.snapshot()[0]["value"] == 5
+
+    def test_instrument_born_after_mark_deltas_from_zero(self, registry):
+        base = registry.mark()
+        registry.counter("late").inc(4)
+        (rec,) = registry.snapshot(since=base)
+        assert rec["value"] == 4
+
+    def test_gauge_reports_level_not_delta(self, registry):
+        registry.gauge("depth").set(7.0)
+        base = registry.mark()
+        (rec,) = registry.snapshot(since=base)
+        assert rec["value"] == 7.0
+
+    def test_histogram_window_reopens_at_mark(self, registry):
+        h = registry.histogram("wall")
+        h.observe(100.0)  # run 1 outlier
+        base = registry.mark()
+        h.observe(2.0)
+        h.observe(3.0)
+        (rec,) = registry.snapshot(since=base)
+        assert rec["count"] == 2
+        assert rec["sum"] == 5.0
+        assert rec["min"] == 2.0  # run 1's outlier does not leak in
+        assert rec["max"] == 3.0
+
+    def test_back_to_back_runs_report_identical_deltas(self, registry):
+        def run():
+            base = registry.mark()
+            registry.counter("kernel.filter.raw").inc(10)
+            registry.histogram("wall").observe(1.0)
+            return registry.snapshot(since=base)
+
+        first, second = run(), run()
+        assert first == second

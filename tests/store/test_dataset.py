@@ -210,3 +210,62 @@ class TestPartitionEdges:
         ds = ShardedDataset.create(tmp_path / "empty")
         assert ds.machines() == []
         assert isinstance(ds.manifest, StoreManifest)
+
+
+class TestAppendWindow:
+    """Incremental appends: one new window per table, existing shards
+    never rewritten, time order enforced against the stored envelope."""
+
+    def _split(self, machine, frac=0.8):
+        t = machine.ras_log.frame["event_time"]
+        s = machine.job_log.frame["start_time"]
+        lo = min(float(t.min()), float(s.min()))
+        hi = max(float(t.max()), float(s.max()))
+        cut = lo + frac * (hi - lo)
+        past = np.nextafter(hi, np.inf)
+        return (
+            (machine.ras_log.select_time(lo, cut),
+             machine.job_log.select_time(lo, cut)),
+            (machine.ras_log.select_time(cut, past),
+             machine.job_log.select_time(cut, past)),
+        )
+
+    def test_append_then_scan_equals_full_trace(self, tmp_path, machine):
+        (ras0, job0), (ras1, job1) = self._split(machine)
+        ds = ShardedDataset.create(tmp_path / "store")
+        ds.add_machine_trace(machine.machine, ras0, job0, windows=2)
+        ds.append_machine_window(machine.machine, ras1, job1)
+        reopened = ShardedDataset.open(tmp_path / "store")
+        assert_frames_identical(
+            reopened.load_ras(machine.machine).frame, machine.ras_log.frame
+        )
+        assert_frames_identical(
+            reopened.load_job(machine.machine).frame, machine.job_log.frame
+        )
+
+    def test_existing_shards_untouched(self, tmp_path, machine):
+        (ras0, job0), (ras1, job1) = self._split(machine)
+        ds = ShardedDataset.create(tmp_path / "store")
+        ds.add_machine_trace(machine.machine, ras0, job0, windows=2)
+        before = {
+            p: p.read_bytes()
+            for p in sorted((tmp_path / "store").rglob("*"))
+            if p.is_file() and p.name != MANIFEST_NAME
+        }
+        new = ds.append_machine_window(machine.machine, ras1, job1)
+        assert {s.table for s in new} == {"ras", "job"}
+        assert all(s.window == 2 for s in new)
+        for path, content in before.items():
+            assert path.read_bytes() == content, f"{path} was rewritten"
+
+    def test_out_of_order_append_rejected(self, tmp_path, machine):
+        (ras0, job0), (ras1, job1) = self._split(machine)
+        ds = ShardedDataset.create(tmp_path / "store")
+        ds.add_machine_trace(machine.machine, ras0, job0, windows=1)
+        with pytest.raises(StoreError, match="out of order"):
+            ds.append_machine_window(machine.machine, ras0, job0)
+
+    def test_append_to_unknown_machine_rejected(self, tmp_path, machine):
+        ds = ShardedDataset.create(tmp_path / "store")
+        with pytest.raises(StoreError, match="not in store"):
+            ds.append_machine_window("ghost", machine.ras_log, machine.job_log)

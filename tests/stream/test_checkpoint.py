@@ -1,0 +1,104 @@
+"""Checkpoint save/resume: bit-identical continuation, config
+fingerprint enforcement, and failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.filtering.chain import FilterChain
+from repro.core.filtering.temporal import TemporalFilter
+from repro.core.pipeline import CoAnalysis
+from repro.stream import (
+    StreamError,
+    StreamingCoAnalysis,
+    diff_results,
+    load_checkpoint,
+    save_checkpoint,
+    split_trace,
+)
+
+
+def ingest_first(trace, k, upto):
+    ras, job = trace
+    runner = StreamingCoAnalysis()
+    incs = split_trace(ras, job, increments=k)
+    for inc in incs[:upto]:
+        runner.ingest_increment(inc)
+    return runner, incs
+
+
+class TestSaveResume:
+    def test_resume_is_bit_identical(self, trace, batch, tmp_path):
+        runner, incs = ingest_first(trace, 6, 3)
+        save_checkpoint(runner, tmp_path / "ckpt")
+        resumed = load_checkpoint(tmp_path / "ckpt")
+        assert resumed.watermark == runner.watermark
+        assert resumed.increments == 3
+        for inc in incs[3:]:
+            resumed.ingest_increment(inc)
+        assert diff_results(resumed.result(), batch) == []
+
+    def test_resume_with_nothing_left(self, trace, batch, tmp_path):
+        """All state needed for result() survives the round-trip."""
+        runner, _ = ingest_first(trace, 4, 4)
+        save_checkpoint(runner, tmp_path / "ckpt")
+        resumed = load_checkpoint(tmp_path / "ckpt")
+        assert diff_results(resumed.result(), batch) == []
+
+    def test_checkpoint_every_increment(self, trace, batch, tmp_path):
+        """Save+load between every pair of increments — the CLI's
+        --checkpoint-dir cadence — still converges bit-identically."""
+        ras, job = trace
+        incs = split_trace(ras, job, increments=5)
+        runner = StreamingCoAnalysis()
+        for inc in incs:
+            runner.ingest_increment(inc)
+            save_checkpoint(runner, tmp_path / "ckpt")
+            runner = load_checkpoint(tmp_path / "ckpt")
+        assert diff_results(runner.result(), batch) == []
+
+    def test_updates_continue_after_resume(self, trace, tmp_path):
+        runner, incs = ingest_first(trace, 6, 3)
+        direct = [runner.ingest_increment(inc) for inc in incs[3:]]
+
+        fresh, _ = ingest_first(trace, 6, 3)
+        save_checkpoint(fresh, tmp_path / "ckpt")
+        resumed = load_checkpoint(tmp_path / "ckpt")
+        replayed = [resumed.ingest_increment(inc) for inc in incs[3:]]
+        for a, b in zip(direct, replayed):
+            assert a.events_raw == b.events_raw
+            assert a.events_flushed == b.events_flushed
+            assert a.pairs_emitted == b.pairs_emitted
+            assert a.interrupted_jobs == b.interrupted_jobs
+
+
+class TestFailureModes:
+    def test_finalized_stream_refuses_checkpoint(self, trace, tmp_path):
+        runner, _ = ingest_first(trace, 2, 2)
+        runner.result()
+        with pytest.raises(StreamError, match="finalized"):
+            save_checkpoint(runner, tmp_path / "ckpt")
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(StreamError, match="unreadable"):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_wrong_version_raises(self, trace, tmp_path):
+        runner, _ = ingest_first(trace, 3, 1)
+        save_checkpoint(runner, tmp_path / "ckpt")
+        path = tmp_path / "ckpt" / "checkpoint.json"
+        index = json.loads(path.read_text())
+        index["version"] = 99
+        path.write_text(json.dumps(index))
+        with pytest.raises(StreamError, match="version"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_threshold_mismatch_raises(self, trace, tmp_path):
+        runner, _ = ingest_first(trace, 3, 1)
+        save_checkpoint(runner, tmp_path / "ckpt")
+        other = CoAnalysis(
+            filters=FilterChain(temporal=TemporalFilter(threshold=60.0))
+        )
+        with pytest.raises(StreamError, match="thresholds do not match"):
+            load_checkpoint(tmp_path / "ckpt", pipeline=other)
