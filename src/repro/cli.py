@@ -1,6 +1,6 @@
 """Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Seven subcommands::
+Nine subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
@@ -13,7 +13,13 @@ Seven subcommands::
         [--time-range T0:T1] [--check-equivalence]
     repro-coanalysis stream [--ras ... --job ... | --scale 0.1] \
         [--increments K] [--checkpoint-dir DIR] [--resume] \
-        [--check-equivalence]
+        [--allowed-lateness S] [--late-sink DIR] \
+        [--validate-checkpoint DIR] [--check-equivalence]
+    repro-coanalysis daemon --ras live_ras.psv --job live_job.psv \
+        --checkpoint-root ckpt/ [--allowed-lateness S] [--store DIR] \
+        [--idle-exit N] [--inject-faults SEED] [--check-equivalence]
+    repro-coanalysis feed --copy ras.psv:live_ras.psv [--steps N] \
+        [--interval S]
     repro-coanalysis trace run.jsonl [--top N] [--validate]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
@@ -568,6 +574,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
         split_trace,
     )
 
+    if args.validate_checkpoint:
+        from repro.stream.checkpoint import validate_checkpoint
+
+        problems = validate_checkpoint(args.validate_checkpoint)
+        for problem in problems:
+            print(f"checkpoint: {problem}")
+        if problems:
+            print(f"checkpoint {args.validate_checkpoint}: CORRUPT")
+            return 1
+        print(f"checkpoint {args.validate_checkpoint}: OK")
+        return 0
+
     if bool(args.ras) != bool(args.job):
         print(
             "stream needs both --ras and --job (or neither, to simulate)",
@@ -576,6 +594,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
         return 2
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.allowed_lateness and args.checkpoint_dir:
+        print(
+            "--allowed-lateness replay does not checkpoint; use"
+            " `repro-coanalysis daemon` for durable lateness state",
+            file=sys.stderr,
+        )
         return 2
 
     telemetry = _telemetry(args)
@@ -618,15 +643,44 @@ def cmd_stream(args: argparse.Namespace) -> int:
             except StreamError as exc:
                 print(f"cannot resume: {exc}", file=sys.stderr)
                 return 2
+        lateness = None
         if runner is None:
-            runner = StreamingCoAnalysis(
-                pipeline=_pipeline_from_args(args), source=source
-            )
+            if args.allowed_lateness:
+                from repro.stream.lateness import (
+                    BoundedLatenessStream,
+                    LateRecordSink,
+                )
+
+                sink = (
+                    LateRecordSink(args.late_sink) if args.late_sink else None
+                )
+                lateness = BoundedLatenessStream(
+                    pipeline=_pipeline_from_args(args),
+                    allowed_lateness=args.allowed_lateness,
+                    sink=sink,
+                    source=source,
+                )
+                runner = lateness.inner
+            else:
+                runner = StreamingCoAnalysis(
+                    pipeline=_pipeline_from_args(args), source=source
+                )
 
         for inc in split_trace(ras_log, job_log, increments=args.increments):
             if inc.watermark <= runner.watermark:
                 continue  # covered by the resumed checkpoint
-            u = runner.ingest_increment(inc)
+            if lateness is not None:
+                lu = lateness.ingest(inc.ras, inc.job, inc.watermark)
+                if lu.update is None:
+                    print(
+                        f"increment held: watermark={lu.producer_watermark:.0f}"
+                        f" buffered={lu.buffered}"
+                        f" dropped={sum(lu.dropped.values())}"
+                    )
+                    continue
+                u = lu.update
+            else:
+                u = runner.ingest_increment(inc)
             fit = ""
             if u.fit is not None:
                 delta = (
@@ -642,7 +696,17 @@ def cmd_stream(args: argparse.Namespace) -> int:
             )
             if args.checkpoint_dir:
                 save_checkpoint(runner, args.checkpoint_dir)
-        result = runner.result()
+        if lateness is not None:
+            result = lateness.result()
+            dropped = sum(lateness.late_dropped.values())
+            if dropped:
+                print(
+                    f"late records beyond the {args.allowed_lateness:.0f}s"
+                    f" horizon: {dropped} dropped"
+                    + (f" (sink: {args.late_sink})" if args.late_sink else "")
+                )
+        else:
+            result = runner.result()
         if telemetry is not None:
             telemetry.observations = list(result.observations)
         print()
@@ -662,6 +726,133 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if telemetry is not None and rc == 0:
         print(f"telemetry manifest: {telemetry.finish()}")
     return rc
+
+
+def cmd_daemon(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.stream.daemon import DaemonConfig, DaemonLoop, Supervisor
+    from repro.stream.equivalence import diff_results
+    from repro.stream.source import RetryPolicy
+
+    config = DaemonConfig(
+        ras_path=args.ras,
+        job_path=args.job,
+        checkpoint_root=args.checkpoint_root,
+        allowed_lateness=args.allowed_lateness,
+        late_sink_dir=args.late_sink,
+        poll_interval_s=args.poll_interval,
+        checkpoint_every=args.checkpoint_every,
+        idle_exit=args.idle_exit,
+        store_root=args.store,
+        machine=args.machine,
+        policy=args.on_bad_record,
+        retry=RetryPolicy(
+            max_attempts=args.retry_attempts,
+            deadline_s=args.retry_deadline,
+        ),
+        seed=args.seed,
+    )
+
+    def make_fs():
+        if args.inject_faults is None:
+            return None
+        from repro.faults.io import FaultPlan, FaultyFS
+
+        return FaultyFS(FaultPlan.generate(args.inject_faults))
+
+    telemetry = _telemetry(args)
+    active: dict[str, DaemonLoop] = {}
+
+    def make_loop() -> DaemonLoop:
+        loop = DaemonLoop(
+            config, pipeline=_pipeline_from_args(args), fs=make_fs()
+        )
+        active["loop"] = loop
+        if loop.rotator.problems:
+            for problem in loop.rotator.problems:
+                print(f"checkpoint fallback: {problem}", file=sys.stderr)
+        return loop
+
+    previous = {}
+
+    def _handler(signum, frame):
+        loop = active.get("loop")
+        if loop is not None:
+            loop.request_stop("signal")
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except ValueError:  # not the main thread
+            break
+    rc = 0
+    with telemetry.activate() if telemetry else nullcontext():
+        try:
+            summary = Supervisor(
+                make_loop, max_restarts=args.max_restarts
+            ).run()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+        print(
+            f"daemon done ({summary.stopped_by}): {summary.cycles} cycles,"
+            f" {summary.increments} increments"
+            f" ({summary.degraded_increments} degraded),"
+            f" {summary.released_rows} rows released,"
+            f" {summary.checkpoints} checkpoints,"
+            f" {summary.store_windows} store windows,"
+            f" late dropped {summary.late_dropped}"
+        )
+        if args.check_equivalence:
+            loop = active["loop"]
+            result = loop.result()
+            if telemetry is not None:
+                telemetry.observations = list(result.observations)
+            policy = IngestPolicy(mode=args.on_bad_record)
+            batch = _pipeline_from_args(args).run(
+                read_ras_log(args.ras, policy=policy),
+                read_job_log(args.job, policy=policy),
+            )
+            diffs = diff_results(result, batch)
+            for diff in diffs:
+                print(f"equivalence: {diff}")
+            print(f"daemon == batch: {'OK' if not diffs else 'FAILED'}")
+            if diffs:
+                rc = 3
+    if telemetry is not None and rc == 0:
+        print(f"telemetry manifest: {telemetry.finish()}")
+    return rc
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    """Grow destination files from sources in timed steps (CI helper)."""
+    pairs = []
+    for spec in args.copy:
+        src, sep, dest = spec.partition(":")
+        if not sep or not src or not dest:
+            print(f"bad --copy spec {spec!r} (want SRC:DEST)", file=sys.stderr)
+            return 2
+        pairs.append((Path(src), Path(dest)))
+    payloads = []
+    for src, dest in pairs:
+        try:
+            payloads.append(src.read_bytes())
+        except OSError as exc:
+            print(f"cannot read {src}: {exc}", file=sys.stderr)
+            return 2
+        dest.write_bytes(b"")
+    for step in range(1, args.steps + 1):
+        time.sleep(args.interval)
+        for (src, dest), data in zip(pairs, payloads):
+            lo = len(data) * (step - 1) // args.steps
+            hi = len(data) * step // args.steps
+            with open(dest, "ab") as fh:
+                fh.write(data[lo:hi])
+                fh.flush()
+                os.fsync(fh.fileno())
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -806,12 +997,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the one-shot batch pipeline and assert the "
              "streamed result is bit-identical (exit 3 on divergence)",
     )
+    p_st.add_argument(
+        "--allowed-lateness", type=_seconds_arg("allowed lateness"),
+        default=0.0, metavar="S",
+        help="bounded-lateness horizon in seconds: records this late "
+             "still merge bit-identically; older ones go to the late "
+             "sink instead of crashing the stream (default 0)",
+    )
+    p_st.add_argument(
+        "--late-sink", default=None, metavar="DIR",
+        help="directory for records beyond the lateness horizon "
+             "(late_ras.psv / late_job.psv, standard formats)",
+    )
+    p_st.add_argument(
+        "--validate-checkpoint", default=None, metavar="DIR",
+        help="audit a checkpoint directory (fingerprints, content "
+             "hashes, corruption class) and exit: 0 healthy, 1 corrupt",
+    )
     _add_profile_args(p_st)
     _add_analysis_args(p_st)
     _add_ingest_args(p_st)
     _add_workers_arg(p_st)
     _add_telemetry_args(p_st)
     p_st.set_defaults(func=cmd_stream)
+
+    p_dm = sub.add_parser(
+        "daemon",
+        help="tail growing RAS/job files as a fault-tolerant live "
+             "co-analysis daemon (bounded lateness, retrying feeds, "
+             "crash-safe checkpoints, optional fleet-store appends)",
+    )
+    p_dm.add_argument("--ras", required=True, help="RAS feed file to tail")
+    p_dm.add_argument("--job", required=True, help="job feed file to tail")
+    p_dm.add_argument(
+        "--checkpoint-root", required=True, metavar="DIR",
+        help="rotated checkpoint slots live here; resume is automatic",
+    )
+    p_dm.add_argument(
+        "--allowed-lateness", type=_seconds_arg("allowed lateness"),
+        default=300.0, metavar="S",
+        help="bounded-lateness horizon in seconds (default 300)",
+    )
+    p_dm.add_argument(
+        "--late-sink", default=None, metavar="DIR",
+        help="divert records beyond the horizon here (default: count "
+             "and drop)",
+    )
+    p_dm.add_argument(
+        "--poll-interval", type=_seconds_arg("poll interval"),
+        default=1.0, metavar="S",
+        help="seconds between feed polls (default 1.0)",
+    )
+    p_dm.add_argument(
+        "--checkpoint-every", type=_positive_int_arg, default=1,
+        metavar="N",
+        help="checkpoint + store-flush every N data-bearing cycles "
+             "(default 1)",
+    )
+    p_dm.add_argument(
+        "--idle-exit", type=_positive_int_arg, default=None, metavar="N",
+        help="exit cleanly after N consecutive idle polls (default: "
+             "run until SIGTERM/SIGINT)",
+    )
+    p_dm.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="append released (stable) increments into this fleet "
+             "store as machine --machine",
+    )
+    p_dm.add_argument(
+        "--machine", default="live", metavar="NAME",
+        help="store machine name for appended windows (default live)",
+    )
+    p_dm.add_argument(
+        "--on-bad-record", choices=INGEST_MODES, default="quarantine",
+        help="feed defect policy (default quarantine: a live daemon "
+             "should divert damage, not die on it)",
+    )
+    p_dm.add_argument(
+        "--max-restarts", type=_nonneg_int_arg, default=3, metavar="N",
+        help="supervisor restart budget after crashes (default 3)",
+    )
+    p_dm.add_argument(
+        "--retry-attempts", type=_positive_int_arg, default=5, metavar="N",
+        help="IO retry attempts per poll before degrading (default 5)",
+    )
+    p_dm.add_argument(
+        "--retry-deadline", type=_seconds_arg("retry deadline"),
+        default=10.0, metavar="S",
+        help="overall IO retry deadline per poll in seconds (default 10)",
+    )
+    p_dm.add_argument(
+        "--inject-faults", type=int, default=None, metavar="SEED",
+        help="drive feed IO through a seeded fault plan (EIO, short "
+             "reads, stalls, rotation) — robustness drills and CI",
+    )
+    p_dm.add_argument(
+        "--check-equivalence", action="store_true",
+        help="after exit, finalize and assert bit-identity against a "
+             "batch run over the final files (exit 3 on divergence; "
+             "assumes in-order feeds)",
+    )
+    p_dm.add_argument("--seed", type=int, default=0)
+    _add_analysis_args(p_dm)
+    _add_telemetry_args(p_dm)
+    p_dm.set_defaults(func=cmd_daemon)
+
+    p_fd = sub.add_parser(
+        "feed",
+        help="grow destination files from sources in timed steps "
+             "(synthesizes a live feed for daemon drills and CI)",
+    )
+    p_fd.add_argument(
+        "--copy", action="append", required=True, metavar="SRC:DEST",
+        help="copy SRC into DEST incrementally (repeatable)",
+    )
+    p_fd.add_argument(
+        "--steps", type=_positive_int_arg, default=10, metavar="N",
+        help="number of append steps (default 10)",
+    )
+    p_fd.add_argument(
+        "--interval", type=_seconds_arg("interval"), default=0.2,
+        metavar="S",
+        help="seconds between steps (default 0.2)",
+    )
+    p_fd.set_defaults(func=cmd_feed)
 
     p_tr = sub.add_parser(
         "trace", help="render or validate a telemetry run manifest"

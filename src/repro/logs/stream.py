@@ -14,6 +14,13 @@ the first defect raises an :class:`~repro.logs.quarantine.IngestError`
 carrying the line number and defect class; under ``quarantine`` /
 ``skip`` bad lines are diverted into a
 :class:`~repro.logs.quarantine.QuarantineReport` and parsing continues.
+
+A *growing* file needs one extra rule: hitting EOF in the middle of a
+line means the writer has not flushed the rest yet — a fragment, not a
+defect. Pass a :class:`PartialTail` to :func:`iter_ras_chunks` and the
+unterminated final line is held there as *pending* instead of being run
+through the defect taxonomy; without one (the batch default) EOF is
+taken as end-of-data and the final line is classified like any other.
 """
 
 from __future__ import annotations
@@ -59,6 +66,42 @@ _COMPONENT_IDX = 2
 _ERRCODE_IDX = 4
 _SEVERITY_IDX = 5
 _TIME_IDX = 6
+
+
+class PartialTail:
+    """The unterminated final line of a growing file, held as pending.
+
+    A tailing reader that reaches EOF mid-line must not classify the
+    fragment — the bytes after EOF may already be in the writer's
+    buffer. When handed to :func:`iter_ras_chunks`, the fragment lands
+    here (``pending`` true, ``text`` the bytes seen so far, ``line_no``
+    its 1-based position) and is excluded from both the parsed chunks
+    and the quarantine report; the next poll re-reads it from the same
+    byte offset once the newline arrives.
+    """
+
+    __slots__ = ("text", "line_no")
+
+    def __init__(self) -> None:
+        self.text: str | None = None
+        self.line_no = 0
+
+    @property
+    def pending(self) -> bool:
+        return self.text is not None
+
+    def hold(self, text: str, line_no: int) -> None:
+        self.text = text
+        self.line_no = line_no
+        get_metrics().counter("ingest.partial_tail").inc()
+
+    def clear(self) -> None:
+        self.text = None
+        self.line_no = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"line {self.line_no}" if self.pending else "empty"
+        return f"PartialTail({state})"
 
 
 class RasRowCursor:
@@ -137,6 +180,7 @@ def iter_ras_chunks(
     chunk_rows: int = 100_000,
     policy: IngestPolicy | str | None = None,
     report: QuarantineReport | None = None,
+    partial: PartialTail | None = None,
 ) -> Iterator[RasLog]:
     """Yield a written RAS log file as bounded :class:`RasLog` chunks.
 
@@ -145,6 +189,11 @@ def iter_ras_chunks(
     semantics) rather than crashing. A recognisable-but-wrong header
     still raises: when the schema itself cannot be trusted, no policy
     can salvage the rows beneath it.
+
+    With a :class:`PartialTail`, a final line missing its newline is
+    held there as pending — the tailing discipline for growing files —
+    rather than classified; without one it is parsed like any other
+    line, the batch reading of a file that is known to be complete.
     """
     if chunk_rows <= 0:
         raise ValueError("chunk_rows must be positive")
@@ -153,8 +202,19 @@ def iter_ras_chunks(
         report = pol.new_report(str(path))
     from repro.logs.ras import empty_ras_log
 
+    if partial is not None:
+        partial.clear()
     with open(path, "r", encoding="utf-8-sig", errors="replace") as fh:
-        header = fh.readline().rstrip("\r\n")
+        raw_header = fh.readline()
+        if (
+            partial is not None
+            and raw_header
+            and not raw_header.endswith("\n")
+        ):
+            partial.hold(raw_header, 1)
+            yield empty_ras_log()
+            return
+        header = raw_header.rstrip("\r\n")
         if not header:
             yield empty_ras_log()
             return
@@ -171,6 +231,12 @@ def iter_ras_chunks(
         # so consumer time between chunks never counts as parse time
         t0, c0 = perf_counter(), thread_time()
         for line_no, line in enumerate(fh, start=2):
+            if partial is not None and not line.endswith("\n"):
+                # EOF landed mid-line: the writer has not flushed the
+                # rest yet. Hold it pending instead of classifying —
+                # only the file's last line can lack its newline.
+                partial.hold(line, line_no)
+                break
             text = line.rstrip("\r\n")
             report.total_rows += 1
             defect, parsed = classify_ras_line(text, cursor)

@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MonotonicGauge,
     get_metrics,
 )
 from repro.obs.trace import (
@@ -56,6 +57,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MonotonicGauge",
     "get_metrics",
     "config_fingerprint",
     "git_rev",

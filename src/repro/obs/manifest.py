@@ -44,7 +44,7 @@ __all__ = [
 MANIFEST_SCHEMA_VERSION = 1
 
 _SPAN_REQUIRED = ("id", "parent", "name", "wall_s", "cpu_s", "rows")
-_METRIC_KINDS = ("counter", "gauge", "histogram")
+_METRIC_KINDS = ("counter", "gauge", "monotonic_gauge", "histogram")
 
 
 def git_rev(cwd: "str | Path | None" = None) -> str:

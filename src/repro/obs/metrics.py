@@ -33,6 +33,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MonotonicGauge",
     "get_metrics",
 ]
 
@@ -102,6 +103,37 @@ class Gauge:
             "labels": self.labels,
             "value": self.value,
         }
+
+
+class MonotonicGauge(Gauge):
+    """A gauge that only advances — a position, not a level.
+
+    The natural instrument for stream progress (watermark position,
+    bytes-committed offsets): concurrent or replayed ``set`` calls can
+    race or repeat, but the reading must never move backwards. A stale
+    ``set`` below the current value is ignored rather than an error, so
+    resumed daemons can re-report their position idempotently. Like
+    every gauge it is a level for snapshot purposes: ``snapshot(since=)``
+    reports the current position, never a delta.
+    """
+
+    kind = "monotonic_gauge"
+    __slots__ = ()
+
+    def __init__(self, name: str, labels: dict, lock: threading.Lock):
+        super().__init__(name, labels, lock)
+        self.value = float("-inf")
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+    def as_record(self, base=None) -> dict:
+        record = super().as_record(base)
+        if record["value"] == float("-inf"):  # never set: report nothing
+            record["value"] = None
+        return record
 
 
 class Histogram:
@@ -199,6 +231,9 @@ class MetricsRegistry:
 
     def gauge(self, name: str, **labels) -> Gauge:
         return self._get(Gauge, name, labels)
+
+    def monotonic_gauge(self, name: str, **labels) -> MonotonicGauge:
+        return self._get(MonotonicGauge, name, labels)
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get(Histogram, name, labels)

@@ -9,22 +9,41 @@ for any K — including cuts landing exactly on window edges.
 * :mod:`repro.stream.filters` — incremental temporal/spatial/causal state
 * :mod:`repro.stream.matcher` — the frontier interval-join matcher
 * :mod:`repro.stream.runner` — the orchestrating runner + rolling stats
+* :mod:`repro.stream.lateness` — bounded-lateness reorder buffer + sink
+* :mod:`repro.stream.source` — tailing feeds with retry/backoff
 * :mod:`repro.stream.checkpoint` — durable save/resume between increments
+* :mod:`repro.stream.daemon` — poll→increment→checkpoint supervision
 * :mod:`repro.stream.equivalence` — the bit-identity comparator
 """
 
-from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.checkpoint import (
+    load_checkpoint,
+    save_checkpoint,
+    validate_checkpoint,
+)
 from repro.stream.equivalence import diff_results, frames_equal
+from repro.stream.lateness import (
+    BoundedLatenessStream,
+    LateRecordSink,
+    LatenessUpdate,
+)
 from repro.stream.runner import (
     StreamError,
     StreamingCoAnalysis,
     StreamUpdate,
     replay_trace,
 )
+from repro.stream.source import Feed, LogTailer, RetryPolicy
 from repro.stream.windows import Increment, coverage_edges, split_trace
 
 __all__ = [
+    "BoundedLatenessStream",
+    "Feed",
     "Increment",
+    "LateRecordSink",
+    "LatenessUpdate",
+    "LogTailer",
+    "RetryPolicy",
     "StreamError",
     "StreamingCoAnalysis",
     "StreamUpdate",
@@ -35,4 +54,5 @@ __all__ = [
     "replay_trace",
     "save_checkpoint",
     "split_trace",
+    "validate_checkpoint",
 ]

@@ -12,6 +12,18 @@ A checkpoint is a directory (the format DESIGN.md §12 documents):
   and raw frontiers, accumulated pairs, survivors, jobs), written with
   the store's codec (:mod:`repro.store.codec`).
 
+Version 2 adds **content integrity**: the index records a blake2b
+digest for every frame directory and for ``arrays.npz``, and
+:func:`validate_checkpoint` cross-checks them the way
+:func:`repro.store.manifest.validate_store_manifest` audits a store —
+classifying each problem (``unreadable-index``, ``version-mismatch``,
+``fingerprint-mismatch``, ``missing-file``, ``hash-mismatch``) so the
+daemon's rotation logic can fall back to the previous checkpoint on
+any corruption instead of resuming from damaged state. Version 2 also
+carries optional **extra sections** (``extra`` scalars plus ``x_*``
+frame directories) for state the daemon owns above the core runner:
+the lateness reorder buffer, feed cursors and the store-append backlog.
+
 Resuming from a checkpoint and ingesting the remaining increments is
 bit-identical to having run the whole stream in one process — the
 checkpoint tests replay both ways and compare with
@@ -20,6 +32,7 @@ checkpoint tests replay both ways and compare with
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -30,12 +43,23 @@ from repro.core.pipeline import CoAnalysis
 from repro.frame import Frame
 from repro.obs.manifest import config_fingerprint
 from repro.stats.weibull import WeibullFit
-from repro.store.codec import decode_columns, encode_frame
+from repro.store.codec import (
+    column_files,
+    decode_columns,
+    encode_frame,
+    shard_content_hash,
+)
 from repro.stream.runner import StreamError, StreamingCoAnalysis
 
-__all__ = ["CHECKPOINT_VERSION", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+    "load_extras",
+    "save_checkpoint",
+    "validate_checkpoint",
+]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 _FRAME_DIRS = (
     "survivors",
@@ -82,11 +106,31 @@ def _decode(directory: Path, name: str, spec) -> list[Frame]:
     return [Frame(data)]
 
 
-def save_checkpoint(runner: StreamingCoAnalysis, directory: str | Path) -> Path:
+def _file_hash(path: Path) -> str:
+    digest = hashlib.blake2b(digest_size=20)
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(1 << 20)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_checkpoint(
+    runner: StreamingCoAnalysis,
+    directory: str | Path,
+    extra_state: dict | None = None,
+    extra_frames: dict[str, Frame] | None = None,
+) -> Path:
     """Persist *runner*'s frontier state; returns the directory.
 
     The JSON index is written last (atomically), so a torn write leaves
-    no checkpoint rather than a corrupt one.
+    no checkpoint rather than a corrupt one. *extra_state* (JSON
+    scalars) and *extra_frames* (frames, written as ``x_<name>``
+    column directories) carry daemon-level state — lateness buffers,
+    feed cursors, the store-append backlog — hashed and validated
+    alongside the core sections.
     """
     if runner._result is not None:
         raise StreamError("cannot checkpoint a finalized stream")
@@ -116,6 +160,10 @@ def save_checkpoint(runner: StreamingCoAnalysis, directory: str | Path) -> Path:
     specs = {
         name: _encode(directory, name, frame) for name, frame in frames.items()
     }
+    extra_specs = {
+        name: encode_frame(frame, directory / f"x_{name}")
+        for name, frame in (extra_frames or {}).items()
+    }
 
     arrays = {
         "causal_acc_ev": _cat(causal._acc_ev),
@@ -127,6 +175,15 @@ def save_checkpoint(runner: StreamingCoAnalysis, directory: str | Path) -> Path:
     }
     with open(directory / "arrays.npz", "wb") as fh:
         np.savez(fh, **arrays)
+
+    hashes = {"arrays.npz": _file_hash(directory / "arrays.npz")}
+    for name, spec in specs.items():
+        if spec is not None:
+            hashes[name] = shard_content_hash(directory / name, spec)
+    for name, spec in extra_specs.items():
+        hashes[f"x_{name}"] = shard_content_hash(
+            directory / f"x_{name}", spec
+        )
 
     config = stream_config(runner.pipeline)
     prev_fit = runner._prev_fit
@@ -161,6 +218,9 @@ def save_checkpoint(runner: StreamingCoAnalysis, directory: str | Path) -> Path:
             else None
         ),
         "frames": specs,
+        "hashes": hashes,
+        "extra": extra_state or {},
+        "extra_frames": extra_specs,
     }
     tmp = directory / "checkpoint.json.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -251,6 +311,95 @@ def load_checkpoint(
     runner._pairs_cursor = len(matcher._pair_frames)
     runner._last_flushed = matcher.events_flushed
     return runner
+
+
+def load_extras(directory: str | Path) -> tuple[dict, dict[str, Frame]]:
+    """The daemon-level sections of a checkpoint: scalars and frames."""
+    directory = Path(directory)
+    try:
+        with open(directory / "checkpoint.json", "r", encoding="utf-8") as fh:
+            index = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StreamError(f"unreadable checkpoint at {directory}: {exc}")
+    frames = {
+        name: Frame(decode_columns(directory / f"x_{name}", spec, mmap=False))
+        for name, spec in index.get("extra_frames", {}).items()
+    }
+    return index.get("extra", {}), frames
+
+
+def validate_checkpoint(
+    directory: str | Path, verify_hashes: bool = True
+) -> list[str]:
+    """Audit a checkpoint directory against its own index.
+
+    Returns human-readable problems (empty = healthy), each prefixed
+    with its corruption class — ``unreadable-index``,
+    ``version-mismatch``, ``fingerprint-mismatch``, ``missing-file`` or
+    ``hash-mismatch`` — mirroring
+    :func:`repro.store.manifest.validate_store_manifest`. The daemon's
+    checkpoint rotation calls this before resuming and falls back to
+    the previous slot on any finding.
+    """
+    directory = Path(directory)
+    try:
+        with open(directory / "checkpoint.json", "r", encoding="utf-8") as fh:
+            index = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable-index: {directory / 'checkpoint.json'}: {exc}"]
+    problems: list[str] = []
+    version = index.get("version")
+    if version != CHECKPOINT_VERSION:
+        problems.append(
+            f"version-mismatch: checkpoint version {version!r} !="
+            f" {CHECKPOINT_VERSION}"
+        )
+        return problems
+    if config_fingerprint(index.get("config", {})) != index.get("fingerprint"):
+        problems.append(
+            "fingerprint-mismatch: stored config does not hash to the"
+            " stored fingerprint"
+        )
+    hashes = index.get("hashes", {})
+
+    def check_dir(name: str, spec) -> None:
+        if spec is None:
+            return
+        frame_dir = directory / name
+        if not frame_dir.is_dir():
+            problems.append(f"missing-file: frame directory {name}")
+            return
+        missing = [
+            f for f in column_files(spec) if not (frame_dir / f).is_file()
+        ]
+        if missing:
+            problems.append(
+                f"missing-file: frame {name} column files {missing}"
+            )
+            return
+        if verify_hashes and name in hashes:
+            digest = shard_content_hash(frame_dir, spec)
+            if digest != hashes[name]:
+                problems.append(
+                    f"hash-mismatch: frame {name}"
+                    f" ({digest} != {hashes[name]})"
+                )
+
+    arrays_path = directory / "arrays.npz"
+    if not arrays_path.is_file():
+        problems.append("missing-file: arrays.npz")
+    elif verify_hashes and "arrays.npz" in hashes:
+        digest = _file_hash(arrays_path)
+        if digest != hashes["arrays.npz"]:
+            problems.append(
+                f"hash-mismatch: arrays.npz"
+                f" ({digest} != {hashes['arrays.npz']})"
+            )
+    for name, spec in index.get("frames", {}).items():
+        check_dir(name, spec)
+    for name, spec in index.get("extra_frames", {}).items():
+        check_dir(f"x_{name}", spec)
+    return problems
 
 
 def _cat(arrays: list[np.ndarray], dtype=np.int64) -> np.ndarray:

@@ -312,7 +312,7 @@ class StreamingCoAnalysis:
     def _record_metrics(self, update: StreamUpdate) -> None:
         m = get_metrics()
         if math.isfinite(update.watermark):
-            m.gauge("stream.watermark").set(update.watermark)
+            m.monotonic_gauge("stream.watermark").set(update.watermark)
         m.counter("stream.increments").inc()
         m.counter("stream.events.flushed").inc(
             update.events_flushed - (self._prev_flushed())

@@ -15,7 +15,12 @@ from repro.viz.ascii import (
     sparkline,
 )
 from repro.viz.fleet import render_fleet_report
-from repro.viz.trace import hot_stages, render_span_tree, render_trace
+from repro.viz.trace import (
+    hot_stages,
+    render_gauges,
+    render_span_tree,
+    render_trace,
+)
 
 __all__ = [
     "bar_chart",
@@ -23,6 +28,7 @@ __all__ = [
     "cdf_plot",
     "histogram",
     "series_table",
+    "render_gauges",
     "render_trace",
     "render_span_tree",
     "render_fleet_report",

@@ -4,12 +4,19 @@
 total and self time (self = wall minus the wall of direct children),
 CPU time and row counts, followed by a top-N "hot stages" table that
 aggregates self time by span name — the quickest answer to "where did
-this run actually spend its time?".
+this run actually spend its time?" — and, when the manifest carries
+gauge metrics, a levels table (watermark position, checkpoint age,
+feed lag; monotonic gauges are flagged ``^``).
 """
 
 from __future__ import annotations
 
-__all__ = ["render_trace", "render_span_tree", "hot_stages"]
+__all__ = [
+    "render_gauges",
+    "render_span_tree",
+    "render_trace",
+    "hot_stages",
+]
 
 
 def _children_index(spans: list[dict]) -> dict:
@@ -105,6 +112,44 @@ def render_hot_stages(spans: list[dict], top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def render_gauges(metrics: list[dict]) -> str:
+    """The gauge levels in one manifest.
+
+    Gauges are levels, not per-run deltas, so they get their own table
+    instead of drowning among the counters: watermark positions,
+    checkpoint age, buffered-row counts. Monotonic gauges (positions
+    that only advance) are flagged with ``^``; one that was never set
+    exports ``null`` and renders as ``unset``.
+    """
+    rows = [
+        m
+        for m in metrics
+        if isinstance(m, dict)
+        and m.get("kind") in ("gauge", "monotonic_gauge")
+    ]
+    title = "gauges (levels at export)"
+    lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
+    if not rows:
+        lines.append("  (no gauges)")
+        return "\n".join(lines)
+
+    def _key(metric: dict) -> str:
+        labels = metric.get("labels") or {}
+        if not labels:
+            return metric["name"]
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{metric['name']}{{{inner}}}"
+
+    labelled = sorted((_key(m), m) for m in rows)
+    width = max([24, *(len(text) for text, _ in labelled)])
+    for text, metric in labelled:
+        value = metric.get("value")
+        shown = "unset" if value is None else f"{float(value):.6g}"
+        mark = " ^" if metric["kind"] == "monotonic_gauge" else ""
+        lines.append(f"{text:<{width}} {shown:>16}{mark}")
+    return "\n".join(lines)
+
+
 def render_trace(manifest: dict, top: int = 5) -> str:
     """Full terminal rendering of one run manifest."""
     run = manifest.get("run") or {}
@@ -119,4 +164,10 @@ def render_trace(manifest: dict, top: int = 5) -> str:
     parts = [header, render_span_tree(spans)]
     if spans:
         parts.append(render_hot_stages(spans, top))
+    metrics = manifest.get("metrics", [])
+    if any(
+        isinstance(m, dict) and m.get("kind") in ("gauge", "monotonic_gauge")
+        for m in metrics
+    ):
+        parts.append(render_gauges(metrics))
     return "\n".join(parts)

@@ -1,0 +1,126 @@
+"""The seeded IO fault-injection harness: deterministic schedules,
+faithful fault semantics, and kill points that refuse to be swallowed."""
+
+import errno
+import os
+
+import pytest
+
+from repro.faults.io import (
+    FaultKind,
+    FaultPlan,
+    FaultyFS,
+    InjectedCrash,
+    IOFault,
+)
+
+
+@pytest.fixture()
+def victim(tmp_path):
+    path = tmp_path / "feed.psv"
+    path.write_bytes(b"header\n" + b"x" * 400 + b"\n")
+    return str(path)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.generate(42, n_faults=12)
+        b = FaultPlan.generate(42, n_faults=12)
+        assert a.faults == b.faults
+
+    def test_different_seed_different_schedule(self):
+        assert FaultPlan.generate(1).faults != FaultPlan.generate(2).faults
+
+    def test_crash_is_opt_in(self):
+        plan = FaultPlan.generate(7, n_faults=50)
+        assert all(f.kind is not FaultKind.CRASH for f in plan.faults)
+
+    def test_take_consumes_once(self):
+        plan = FaultPlan([IOFault(op_index=3, kind=FaultKind.EIO)])
+        assert plan.take(3, "any/path") is not None
+        assert plan.take(3, "any/path") is None
+
+    def test_take_respects_path_filter(self):
+        plan = FaultPlan(
+            [IOFault(op_index=1, kind=FaultKind.EIO, path_substr="ras")]
+        )
+        assert plan.take(1, "/tmp/job.psv") is None
+        # the op index has passed; a filtered-out fault never fires
+        assert plan.faults
+
+
+class TestFaultyFS:
+    def test_ops_counter_shared_across_calls(self, victim):
+        fs = FaultyFS(FaultPlan())
+        fs.stat(victim)
+        fh = fs.open(victim)
+        fh.read(4)
+        fh.close()
+        assert fs.ops == 3  # stat, open, read
+
+    def test_eio_raises_retryable_oserror(self, victim):
+        fs = FaultyFS(FaultPlan([IOFault(op_index=1, kind=FaultKind.EIO)]))
+        with pytest.raises(OSError) as err:
+            fs.stat(victim)
+        assert err.value.errno == errno.EIO
+        assert fs.injected == [(1, FaultKind.EIO, victim)]
+
+    def test_short_read_caps_bytes(self, victim):
+        fs = FaultyFS(
+            FaultPlan(
+                [IOFault(op_index=3, kind=FaultKind.SHORT_READ, payload=5)]
+            )
+        )
+        fs.stat(victim)
+        fh = fs.open(victim)
+        assert len(fh.read(100)) == 5  # op 3: capped
+        assert fh.read(100)  # next read proceeds from where it stopped
+        fh.close()
+
+    def test_stall_uses_injected_sleep(self, victim):
+        naps = []
+        fs = FaultyFS(
+            FaultPlan(
+                [IOFault(op_index=1, kind=FaultKind.STALL, payload=0.25)]
+            ),
+            sleep=naps.append,
+        )
+        fs.stat(victim)
+        assert naps == [0.25]
+
+    def test_rotate_is_byte_equal_copy_with_new_inode(self, victim):
+        before_bytes = open(victim, "rb").read()
+        before_ino = os.stat(victim).st_ino
+        fs = FaultyFS(
+            FaultPlan([IOFault(op_index=1, kind=FaultKind.ROTATE)])
+        )
+        st = fs.stat(victim)  # the fault fires, then stat sees the copy
+        assert open(victim, "rb").read() == before_bytes
+        assert st.st_ino != before_ino
+
+    def test_truncate_discards_tail(self, victim):
+        fs = FaultyFS(
+            FaultPlan(
+                [IOFault(op_index=1, kind=FaultKind.TRUNCATE, payload=7)]
+            )
+        )
+        fs.stat(victim)
+        assert os.path.getsize(victim) == 7
+
+    def test_crash_escapes_except_exception(self, victim):
+        fs = FaultyFS(
+            FaultPlan([IOFault(op_index=1, kind=FaultKind.CRASH)])
+        )
+        with pytest.raises(InjectedCrash) as err:
+            try:
+                fs.stat(victim)
+            except Exception:  # a recovery path must NOT absorb a kill
+                pytest.fail("InjectedCrash was swallowed by except Exception")
+        assert err.value.op_index == 1
+
+    def test_faultless_fs_is_transparent(self, victim):
+        fs = FaultyFS()
+        with fs.open(victim) as fh:
+            fh.seek(7)
+            assert fh.read() == b"x" * 400 + b"\n"
+        assert fs.injected == []

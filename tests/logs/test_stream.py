@@ -3,7 +3,12 @@
 import pytest
 
 from repro.logs import RasLog, write_ras_log
-from repro.logs.stream import extract_fatal, iter_ras_chunks, scan_severity_counts
+from repro.logs.stream import (
+    PartialTail,
+    extract_fatal,
+    iter_ras_chunks,
+    scan_severity_counts,
+)
 from tests.logs.test_ras import make_record
 
 
@@ -80,6 +85,74 @@ class TestDegenerateFiles:
         log = read_ras_log(p)
         assert len(log) == 0
         assert log.frame["event_time"].dtype.kind == "f"
+
+
+class TestPartialTail:
+    """A growing file's unterminated final line is pending, not a defect."""
+
+    def _truncated_copy(self, big_log, tmp_path, cut=30):
+        text = big_log.read_text()
+        assert text.endswith("\n")
+        p = tmp_path / "growing.log"
+        p.write_text(text[:-1][:-cut])  # drop newline, then mid-line bytes
+        return p, text
+
+    def test_fragment_held_pending_under_strict(self, big_log, tmp_path):
+        p, text = self._truncated_copy(big_log, tmp_path)
+        tail = PartialTail()
+        chunks = list(iter_ras_chunks(p, policy="strict", partial=tail))
+        assert sum(len(c) for c in chunks) == 999
+        assert tail.pending
+        assert tail.line_no == 1001
+        assert tail.text == text.rstrip("\n").rsplit("\n", 1)[1][:-30]
+
+    def test_fragment_not_in_quarantine_report(self, big_log, tmp_path):
+        from repro.logs.quarantine import IngestPolicy
+
+        p, _ = self._truncated_copy(big_log, tmp_path)
+        pol = IngestPolicy(mode="quarantine")
+        report = pol.new_report(str(p))
+        tail = PartialTail()
+        list(iter_ras_chunks(p, policy=pol, report=report, partial=tail))
+        assert tail.pending
+        assert report.bad_rows == 0
+        assert report.total_rows == 999
+
+    def test_without_holder_fragment_is_a_defect(self, big_log, tmp_path):
+        from repro.logs.quarantine import IngestError
+
+        p, _ = self._truncated_copy(big_log, tmp_path)
+        with pytest.raises(IngestError):
+            list(iter_ras_chunks(p, policy="strict"))
+
+    def test_complete_file_leaves_holder_clear(self, big_log):
+        tail = PartialTail()
+        tail.hold("stale", 99)  # a reused holder is reset per pass
+        chunks = list(iter_ras_chunks(big_log, partial=tail))
+        assert sum(len(c) for c in chunks) == 1000
+        assert not tail.pending
+
+    def test_unterminated_header_held_pending(self, big_log, tmp_path):
+        header = big_log.read_text().split("\n", 1)[0]
+        p = tmp_path / "header_partial.log"
+        p.write_text(header[:-5])
+        tail = PartialTail()
+        chunks = list(iter_ras_chunks(p, partial=tail))
+        assert len(chunks) == 1 and len(chunks[0]) == 0
+        assert tail.pending and tail.line_no == 1
+
+    def test_reread_after_newline_lands_is_whole(self, big_log, tmp_path):
+        """The tailing loop: re-read from the same file once flushed."""
+        text = big_log.read_text()
+        p = tmp_path / "growing.log"
+        p.write_text(text[:-40])
+        tail = PartialTail()
+        first = sum(len(c) for c in iter_ras_chunks(p, partial=tail))
+        assert first == 999 and tail.pending
+        p.write_text(text)  # writer finishes the line
+        total = sum(len(c) for c in iter_ras_chunks(p, partial=tail))
+        assert total == 1000
+        assert not tail.pending
 
 
 class TestScans:

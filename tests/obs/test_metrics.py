@@ -43,6 +43,50 @@ class TestGauge:
         assert registry.value("g", kind="gauge") == 7.0
 
 
+class TestMonotonicGauge:
+    def test_only_advances(self, registry):
+        g = registry.monotonic_gauge("stream.watermark")
+        g.set(10.0)
+        g.set(4.0)  # a stale or replayed report: ignored, not an error
+        assert registry.value(
+            "stream.watermark", kind="monotonic_gauge"
+        ) == 10.0
+        g.set(12.5)
+        assert registry.value(
+            "stream.watermark", kind="monotonic_gauge"
+        ) == 12.5
+
+    def test_unset_exports_null(self, registry):
+        registry.monotonic_gauge("pos")
+        (rec,) = registry.snapshot()
+        assert rec["kind"] == "monotonic_gauge"
+        assert rec["value"] is None
+
+    def test_distinct_from_plain_gauge(self, registry):
+        registry.gauge("x").set(1.0)
+        registry.monotonic_gauge("x").set(2.0)
+        assert registry.value("x", kind="gauge") == 1.0
+        assert registry.value("x", kind="monotonic_gauge") == 2.0
+
+    def test_survives_mark_delta_snapshot(self, registry):
+        """Positions are levels: ``snapshot(since=)`` must not zero them.
+
+        The daemon marks the registry at resume and exports deltas per
+        manifest — the watermark set *before* the mark has to survive
+        into the delta snapshot unchanged, alongside a counter that
+        correctly rebases to zero.
+        """
+        registry.monotonic_gauge("stream.watermark").set(1000.0)
+        registry.counter("cycles").inc(5)
+        base = registry.mark()
+        records = {r["name"]: r for r in registry.snapshot(since=base)}
+        assert records["stream.watermark"]["value"] == 1000.0
+        assert records["cycles"]["value"] == 0
+        registry.monotonic_gauge("stream.watermark").set(1100.0)
+        records = {r["name"]: r for r in registry.snapshot(since=base)}
+        assert records["stream.watermark"]["value"] == 1100.0
+
+
 class TestHistogram:
     def test_observe(self, registry):
         h = registry.histogram("h")

@@ -1,5 +1,5 @@
 """Checkpoint save/resume: bit-identical continuation, config
-fingerprint enforcement, and failure modes."""
+fingerprint enforcement, validation, and failure modes."""
 
 import json
 
@@ -16,6 +16,7 @@ from repro.stream import (
     load_checkpoint,
     save_checkpoint,
     split_trace,
+    validate_checkpoint,
 )
 
 
@@ -71,6 +72,76 @@ class TestSaveResume:
             assert a.events_flushed == b.events_flushed
             assert a.pairs_emitted == b.pairs_emitted
             assert a.interrupted_jobs == b.interrupted_jobs
+
+
+def _flip_last_byte(path):
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestValidateCheckpoint:
+    """Offline integrity audit: every corruption maps to a class."""
+
+    @pytest.fixture()
+    def ckpt(self, trace, tmp_path):
+        runner, _ = ingest_first(trace, 4, 2)
+        directory = tmp_path / "ckpt"
+        save_checkpoint(runner, directory)
+        return directory
+
+    def test_healthy_checkpoint_is_clean(self, ckpt):
+        assert validate_checkpoint(ckpt) == []
+
+    def test_bit_flip_in_frame_shard_is_hash_mismatch(self, ckpt):
+        victim = sorted((ckpt / "survivors").glob("*.npy"))[0]
+        _flip_last_byte(victim)
+        problems = validate_checkpoint(ckpt)
+        assert problems
+        assert all(p.startswith("hash-mismatch") for p in problems)
+        assert "survivors" in problems[0]
+
+    def test_bit_flip_in_arrays_is_hash_mismatch(self, ckpt):
+        _flip_last_byte(ckpt / "arrays.npz")
+        problems = validate_checkpoint(ckpt)
+        assert any(
+            p.startswith("hash-mismatch") and "arrays.npz" in p
+            for p in problems
+        )
+
+    def test_deleted_frame_dir_is_missing_file(self, ckpt):
+        import shutil
+
+        shutil.rmtree(ckpt / "jobs_all")
+        problems = validate_checkpoint(ckpt)
+        assert any(p.startswith("missing-file") for p in problems)
+
+    def test_garbled_index_is_unreadable(self, ckpt):
+        (ckpt / "checkpoint.json").write_text("{not json")
+        problems = validate_checkpoint(ckpt)
+        assert problems[0].startswith("unreadable-index")
+
+    def test_wrong_version_is_version_mismatch(self, ckpt):
+        path = ckpt / "checkpoint.json"
+        index = json.loads(path.read_text())
+        index["version"] = 99
+        path.write_text(json.dumps(index))
+        problems = validate_checkpoint(ckpt)
+        assert problems[0].startswith("version-mismatch")
+
+    def test_tampered_config_is_fingerprint_mismatch(self, ckpt):
+        path = ckpt / "checkpoint.json"
+        index = json.loads(path.read_text())
+        index["config"]["tolerance"] = 999.0
+        path.write_text(json.dumps(index))
+        problems = validate_checkpoint(ckpt)
+        assert any(p.startswith("fingerprint-mismatch") for p in problems)
+
+    def test_without_hash_verification_bit_flip_passes(self, ckpt):
+        """verify_hashes=False is the cheap structural-only audit."""
+        victim = sorted((ckpt / "survivors").glob("*.npy"))[0]
+        _flip_last_byte(victim)
+        assert validate_checkpoint(ckpt, verify_hashes=False) == []
 
 
 class TestFailureModes:

@@ -304,3 +304,81 @@ class TestResilienceEndToEnd:
         err = capsys.readouterr().err
         assert "ingestion aborted" in err
         assert "max_bad_records" in err
+
+
+class TestDaemonParser:
+    def test_daemon_args(self):
+        args = build_parser().parse_args(
+            ["daemon", "--ras", "r.psv", "--job", "j.psv",
+             "--checkpoint-root", "ckpt", "--idle-exit", "4",
+             "--inject-faults", "7"]
+        )
+        assert args.command == "daemon"
+        assert args.allowed_lateness == 300.0  # bounded by default
+        assert args.idle_exit == 4
+        assert args.inject_faults == 7
+        assert args.on_bad_record == "quarantine"
+
+    def test_daemon_requires_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["daemon", "--ras", "r.psv"])
+
+    def test_feed_args(self):
+        args = build_parser().parse_args(
+            ["feed", "--copy", "a:b", "--copy", "c:d", "--steps", "3"]
+        )
+        assert args.command == "feed"
+        assert args.copy == ["a:b", "c:d"]
+        assert args.steps == 3
+
+    def test_stream_lateness_flags(self):
+        args = build_parser().parse_args(
+            ["stream", "--allowed-lateness", "120", "--late-sink", "q"]
+        )
+        assert args.allowed_lateness == 120.0
+        assert args.late_sink == "q"
+
+
+class TestValidateCheckpointCLI:
+    """`repro stream --validate-checkpoint`: the offline integrity audit."""
+
+    @pytest.fixture()
+    def ckpt(self, tmp_path):
+        import numpy as np
+
+        from repro.stream import StreamingCoAnalysis, save_checkpoint
+        from tests.stream.conftest import make_jobs, make_ras
+
+        ras = make_ras(120)
+        job = make_jobs(ras, 20)
+        runner = StreamingCoAnalysis()
+        horizon = np.nextafter(
+            max(ras.frame["event_time"].max(),
+                job.frame["start_time"].max()),
+            np.inf,
+        )
+        runner.ingest(ras, job, watermark=float(horizon))
+        directory = tmp_path / "ckpt"
+        save_checkpoint(runner, directory)
+        return directory
+
+    def test_healthy_checkpoint_ok_exit_0(self, ckpt, capsys):
+        rc = main(["stream", "--validate-checkpoint", str(ckpt)])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bit_flipped_checkpoint_corrupt_exit_1(self, ckpt, capsys):
+        victim = sorted((ckpt / "survivors").glob("*.npy"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        rc = main(["stream", "--validate-checkpoint", str(ckpt)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "hash-mismatch" in out
+
+    def test_missing_checkpoint_corrupt_exit_1(self, tmp_path, capsys):
+        rc = main(["stream", "--validate-checkpoint", str(tmp_path / "no")])
+        assert rc == 1
+        assert "unreadable-index" in capsys.readouterr().out

@@ -1,6 +1,11 @@
-"""The span-tree renderer: self time, orphan roots, hot stages."""
+"""The span-tree renderer: self time, orphan roots, hot stages, gauges."""
 
-from repro.viz.trace import hot_stages, render_span_tree, render_trace
+from repro.viz.trace import (
+    hot_stages,
+    render_gauges,
+    render_span_tree,
+    render_trace,
+)
 
 
 def span(id, parent, name, wall, start=0.0, rows=-1, cpu=0.0):
@@ -95,3 +100,58 @@ class TestRenderTrace:
         out = render_trace({"run": {}, "spans": [], "metrics": [],
                             "observations": []})
         assert "0 spans" in out
+
+    def test_gauges_section_appears_with_gauges(self):
+        manifest = {
+            "run": {},
+            "spans": TREE,
+            "metrics": [
+                {"type": "metric", "kind": "counter", "name": "c",
+                 "labels": {}, "value": 3},
+                {"type": "metric", "kind": "monotonic_gauge",
+                 "name": "stream.watermark", "labels": {},
+                 "value": 1234.5},
+            ],
+            "observations": [],
+        }
+        out = render_trace(manifest)
+        assert "gauges" in out
+        assert "stream.watermark" in out
+        # counters stay out of the levels table
+        assert "\nc " not in out
+
+    def test_no_gauges_no_section(self):
+        manifest = {"run": {}, "spans": TREE, "metrics": [
+            {"type": "metric", "kind": "counter", "name": "c",
+             "labels": {}, "value": 3},
+        ], "observations": []}
+        assert "gauges" not in render_trace(manifest)
+
+
+class TestRenderGauges:
+    def test_levels_labels_and_monotone_flag(self):
+        out = render_gauges([
+            {"kind": "gauge", "name": "daemon.checkpoint.age_s",
+             "labels": {}, "value": 4.25},
+            {"kind": "monotonic_gauge", "name": "stream.watermark",
+             "labels": {"table": "ras"}, "value": 100.0},
+            {"kind": "counter", "name": "noise", "labels": {},
+             "value": 9},
+        ])
+        lines = out.splitlines()
+        assert any(
+            "stream.watermark{table=ras}" in ln and ln.rstrip().endswith("^")
+            for ln in lines
+        )
+        assert any("4.25" in ln for ln in lines)
+        assert not any("noise" in ln for ln in lines)
+
+    def test_unset_monotonic_gauge_renders_unset(self):
+        out = render_gauges([
+            {"kind": "monotonic_gauge", "name": "pos", "labels": {},
+             "value": None},
+        ])
+        assert "unset" in out
+
+    def test_no_gauges_placeholder(self):
+        assert "(no gauges)" in render_gauges([])
