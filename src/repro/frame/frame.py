@@ -91,6 +91,11 @@ class Frame:
 
     def select(self, names: Sequence[str]) -> "Frame":
         """Project onto *names*, preserving the given order."""
+        names = list(names)
+        if names == self.columns:
+            # full-column select in source order: nothing to rebuild, and
+            # sharing is safe because frames are immutable-by-convention
+            return self
         out = Frame()
         for name in names:
             out._data[name] = self.col(name)
@@ -198,6 +203,10 @@ class Frame:
             raise TypeError("filter needs a boolean mask; use take for indices")
         if len(mask) != self.num_rows:
             raise ValueError(f"mask length {len(mask)} != {self.num_rows} rows")
+        if mask.all():
+            # all-True mask keeps every row: sharing the frame is safe
+            # (immutable-by-convention) and skips a full-table copy
+            return self
         out = Frame()
         out._data = {k: v[mask] for k, v in self._data.items()}
         return out

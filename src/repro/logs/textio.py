@@ -47,6 +47,91 @@ def write_ras_log(log: RasLog, path: str | Path) -> None:
     write_delimited(rendered.select(order), path)
 
 
+def read_log_frame(
+    path: str | Path,
+    table: str,
+    policy: IngestPolicy | str | None = None,
+    workers: int = 1,
+    cache: "ParseCache | None" = None,
+    columns: "list[str] | tuple[str, ...] | None" = None,
+):
+    """Read a ``"ras"`` / ``"job"`` log as a bare frame.
+
+    The shared core behind :func:`read_ras_log` / :func:`read_job_log`
+    and the lazy query engine's log scans. Returns ``(frame, report,
+    cache_status)`` where *report* is the parse's
+    :class:`~repro.logs.quarantine.QuarantineReport` (present under
+    every policy; callers decide whether to surface it) and
+    *cache_status* resolves as in :func:`read_ras_log`.
+
+    *columns* is projection pushdown: a cache **hit** decodes only the
+    requested npz members and returns just those columns (in the
+    requested order). A miss always parses — and stores — the full
+    file; only then is the subset selected, because the cache entry
+    must keep every column to serve future callers whatever they ask
+    for.
+    """
+    if table not in ("ras", "job"):
+        raise ValueError(f"unknown log table {table!r}")
+    pol = coerce_policy(policy)
+    report = pol.new_report(str(path))
+    want = list(columns) if columns is not None else None
+
+    key = None
+    if cache is not None:
+        from repro.parallel.cache import apply_report_state
+
+        key = cache.key_for(path, kind=table, policy=pol)
+        hit = cache.load(key, columns=want)
+        if hit is not None:
+            frame, state = hit
+            if state is not None:
+                apply_report_state(report, state)
+            return frame, report, "hit"
+
+    if table == "ras":
+        from repro.frame import concat
+        from repro.logs.ras import empty_ras_log
+        from repro.logs.stream import iter_ras_chunks
+        from repro.parallel.ingest import (
+            parallel_read_ras_frame,
+            resolve_workers,
+        )
+
+        if resolve_workers(workers) > 1:
+            frame = parallel_read_ras_frame(
+                path, policy=pol, report=report, workers=workers
+            )
+        else:
+            frames = [
+                chunk.frame
+                for chunk in iter_ras_chunks(path, policy=pol, report=report)
+                if chunk.frame.num_rows
+            ]
+            frame = concat(frames) if frames else Frame()
+        if not frame.num_rows:
+            frame = empty_ras_log().frame
+    else:
+        from repro.parallel.ingest import (
+            parallel_read_delimited,
+            resolve_workers,
+        )
+
+        if resolve_workers(workers) > 1:
+            frame = parallel_read_delimited(
+                path, policy=pol, report=report, workers=workers
+            )
+        else:
+            frame = read_delimited(path, policy=pol, report=report)
+
+    status = None if cache is None else cache.last_status
+    if key is not None:
+        cache.store(key, frame, report)
+    if want is not None:
+        frame = frame.select(want)
+    return frame, report, status
+
+
 def read_ras_log(
     path: str | Path,
     policy: IngestPolicy | str | None = None,
@@ -67,46 +152,15 @@ def read_ras_log(
     present but unreadable, e.g. a truncated npz; re-parsed and
     re-stored) — or ``None`` when no cache is in play.
     """
-    from repro.frame import concat
     from repro.logs.ras import empty_ras_log
-    from repro.logs.stream import iter_ras_chunks
 
     pol = coerce_policy(policy)
-    report = pol.new_report(str(path))
-
-    key = None
-    if cache is not None:
-        from repro.parallel.cache import apply_report_state
-
-        key = cache.key_for(path, kind="ras", policy=pol)
-        hit = cache.load(key)
-        if hit is not None:
-            frame, state = hit
-            if state is not None:
-                apply_report_state(report, state)
-            log = RasLog(frame) if frame.num_rows else empty_ras_log()
-            log.quarantine = None if pol.is_strict else report
-            log.cache_status = "hit"
-            return log
-
-    from repro.parallel.ingest import parallel_read_ras_frame, resolve_workers
-
-    if resolve_workers(workers) > 1:
-        frame = parallel_read_ras_frame(
-            path, policy=pol, report=report, workers=workers
-        )
-        log = RasLog(frame) if frame.num_rows else empty_ras_log()
-    else:
-        frames = [
-            chunk.frame
-            for chunk in iter_ras_chunks(path, policy=pol, report=report)
-            if chunk.frame.num_rows
-        ]
-        log = RasLog(concat(frames)) if frames else empty_ras_log()
+    frame, report, status = read_log_frame(
+        path, "ras", policy=pol, workers=workers, cache=cache
+    )
+    log = RasLog(frame) if frame.num_rows else empty_ras_log()
     log.quarantine = None if pol.is_strict else report
-    log.cache_status = None if cache is None else cache.last_status
-    if key is not None:
-        cache.store(key, log.frame, report)
+    log.cache_status = status
     return log
 
 
@@ -129,36 +183,12 @@ def read_job_log(
     behave as in :func:`read_ras_log`.
     """
     pol = coerce_policy(policy)
-    report = pol.new_report(str(path))
-
-    key = None
-    if cache is not None:
-        from repro.parallel.cache import apply_report_state
-
-        key = cache.key_for(path, kind="job", policy=pol)
-        hit = cache.load(key)
-        if hit is not None:
-            frame, state = hit
-            if state is not None:
-                apply_report_state(report, state)
-            log = JobLog(frame)
-            log.quarantine = None if pol.is_strict else report
-            log.cache_status = "hit"
-            return log
-
-    from repro.parallel.ingest import parallel_read_delimited, resolve_workers
-
-    if resolve_workers(workers) > 1:
-        frame = parallel_read_delimited(
-            path, policy=pol, report=report, workers=workers
-        )
-    else:
-        frame = read_delimited(path, policy=pol, report=report)
+    frame, report, status = read_log_frame(
+        path, "job", policy=pol, workers=workers, cache=cache
+    )
     log = JobLog(frame)
     log.quarantine = None if pol.is_strict else report
-    log.cache_status = None if cache is None else cache.last_status
-    if key is not None:
-        cache.store(key, log.frame, report)
+    log.cache_status = status
     return log
 
 

@@ -1,0 +1,33 @@
+"""Lazy query engine over :mod:`repro.frame` (DESIGN.md §14).
+
+Deferred plans with predicate/column pushdown into the parse cache,
+the sharded fleet store and the raw log readers, plus filter fusion —
+executed bit-identically to the eager kernels.
+"""
+
+from repro.query.expr import Expr, col, lit
+from repro.query.lazyframe import (
+    LazyFrame,
+    LazyGroupBy,
+    scan_frame,
+    scan_job_log,
+    scan_ras_log,
+    scan_store,
+)
+from repro.query.optimize import optimize
+from repro.query.plan import QueryError, render_plan
+
+__all__ = [
+    "Expr",
+    "col",
+    "lit",
+    "LazyFrame",
+    "LazyGroupBy",
+    "scan_frame",
+    "scan_ras_log",
+    "scan_job_log",
+    "scan_store",
+    "optimize",
+    "render_plan",
+    "QueryError",
+]

@@ -1,0 +1,415 @@
+"""The deferred expression mini-language plan predicates are built from.
+
+An :class:`Expr` is a small immutable tree — column references, literal
+scalars, comparisons, boolean connectives, membership tests and basic
+arithmetic — that a plan node carries *instead of* an evaluated mask.
+Deferring the expression is what makes pushdown possible: the optimizer
+can ask an expression which columns it needs
+(:meth:`Expr.required_columns`), split a conjunction into its parts
+(:func:`conjuncts`), or recognize a time-range pattern it can hand to
+the shard pruner (:func:`pushable_time_range`) — none of which a bare
+numpy mask supports.
+
+Evaluation (:meth:`Expr.evaluate`) lowers onto exactly the same numpy
+operations the eager code would run (``==`` on the column array, ``&``
+of masks, ``np.isin`` / the set-based path :meth:`Frame.mask_isin`
+uses for strings), so a lazy plan stays bit-identical to its eager
+counterpart — including NaN semantics, where any comparison with NaN
+is False just as it is eagerly.
+
+Build expressions with the :func:`col` / :func:`lit` factories::
+
+    (col("severity") == "FATAL") & (col("event_time") >= lit(t0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.frame.frame import Frame
+from repro.frame.column import is_string_kind
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Lit",
+    "Cmp",
+    "BoolOp",
+    "Not",
+    "IsIn",
+    "Arith",
+    "col",
+    "lit",
+    "conjuncts",
+    "pushable_time_range",
+]
+
+
+class Expr:
+    """Base of the deferred expression tree (immutable, comparable)."""
+
+    # -- analysis ------------------------------------------------------
+
+    def required_columns(self) -> frozenset[str]:
+        """Every column name this expression reads."""
+        raise NotImplementedError
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        """The expression's value over *frame* (mask or value array)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Compact one-line rendering for ``explain()`` output."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<Expr {self.describe()}>"
+
+    # -- operator sugar ------------------------------------------------
+
+    def _cmp(self, op: str, other) -> "Cmp":
+        return Cmp(op, self, _wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._cmp("==", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._cmp("!=", other)
+
+    def __lt__(self, other):
+        return self._cmp("<", other)
+
+    def __le__(self, other):
+        return self._cmp("<=", other)
+
+    def __gt__(self, other):
+        return self._cmp(">", other)
+
+    def __ge__(self, other):
+        return self._cmp(">=", other)
+
+    def __and__(self, other) -> "BoolOp":
+        return BoolOp("and", (self, _wrap(other)))
+
+    def __or__(self, other) -> "BoolOp":
+        return BoolOp("or", (self, _wrap(other)))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __add__(self, other) -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other) -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other) -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other) -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def isin(self, values: Iterable[Any]) -> "IsIn":
+        return IsIn(self, tuple(values))
+
+    # Expr overrides __eq__ for the DSL, so identity-based hashing keeps
+    # expressions usable as dict keys / in sets for the optimizer.
+    __hash__ = object.__hash__
+
+    def same_as(self, other: "Expr") -> bool:
+        """Structural equality (``==`` is taken by the DSL)."""
+        return isinstance(other, Expr) and self.describe() == other.describe()
+
+
+def _wrap(value) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expr):
+    """A reference to a column by name."""
+
+    name: str
+
+    def required_columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return frame.col(self.name)
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    """A literal scalar (str, float, int, bool)."""
+
+    value: Any
+
+    def required_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return self.value
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+_CMP_OPS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+#: mirror image of an operator when its operands swap sides
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+@dataclass(frozen=True, eq=False)
+class Cmp(Expr):
+    """A binary comparison producing a boolean mask."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+
+    def required_columns(self) -> frozenset[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        lv = self.left.evaluate(frame)
+        rv = self.right.evaluate(frame)
+        # the same elementwise numpy comparison the eager code runs,
+        # so NaN compares False under every operator except !=
+        out = _CMP_OPS[self.op](lv, rv)
+        return np.asarray(out, dtype=bool)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class BoolOp(Expr):
+    """``and`` / ``or`` over two or more boolean sub-expressions."""
+
+    op: str
+    parts: tuple[Expr, ...]
+
+    def __post_init__(self):
+        if self.op not in ("and", "or"):
+            raise ValueError(f"unknown boolean op {self.op!r}")
+        if len(self.parts) < 2:
+            raise ValueError("BoolOp needs at least two parts")
+
+    def required_columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.required_columns()
+        return out
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        # one running mask, no intermediate frames: this is the fused
+        # evaluation adjacent filters collapse into
+        masks = (np.asarray(p.evaluate(frame), dtype=bool) for p in self.parts)
+        out = next(masks).copy()
+        for mask in masks:
+            if self.op == "and":
+                out &= mask
+            else:
+                out |= mask
+        return out
+
+    def describe(self) -> str:
+        joint = " & " if self.op == "and" else " | "
+        return "(" + joint.join(p.describe() for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    """Boolean negation."""
+
+    part: Expr
+
+    def required_columns(self) -> frozenset[str]:
+        return self.part.required_columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return ~np.asarray(self.part.evaluate(frame), dtype=bool)
+
+    def describe(self) -> str:
+        return f"~{self.part.describe()}"
+
+
+@dataclass(frozen=True, eq=False)
+class IsIn(Expr):
+    """Membership test against a literal value set."""
+
+    part: Expr
+    values: tuple
+
+    def required_columns(self) -> frozenset[str]:
+        return self.part.required_columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        arr = np.asarray(self.part.evaluate(frame))
+        values = list(self.values)
+        if not values:
+            return np.zeros(len(arr), dtype=bool)
+        if is_string_kind(arr):
+            # the set-based membership path Frame.mask_isin uses for
+            # string columns (np.isin on object arrays is unreliable)
+            vset = set(values)
+            return np.fromiter(
+                (v in vset for v in arr), count=len(arr), dtype=bool
+            )
+        return np.isin(arr, np.asarray(values))
+
+    def describe(self) -> str:
+        return f"{self.part.describe()}.isin({list(self.values)!r})"
+
+
+_ARITH_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Arith(Expr):
+    """Elementwise arithmetic over numeric columns/literals."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic op {self.op!r}")
+
+    def required_columns(self) -> frozenset[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def evaluate(self, frame: Frame) -> np.ndarray:
+        return _ARITH_OPS[self.op](
+            self.left.evaluate(frame), self.right.evaluate(frame)
+        )
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+def col(name: str) -> Col:
+    """A deferred reference to column *name*."""
+    return Col(name)
+
+
+def lit(value) -> Lit:
+    """A literal scalar for use inside expressions."""
+    return Lit(value)
+
+
+# ----------------------------------------------------------------------
+# predicate analysis for pushdown
+
+
+def conjuncts(expr: Expr) -> Iterator[Expr]:
+    """Flatten nested ``and`` trees into their leaf conjuncts."""
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        for part in expr.parts:
+            yield from conjuncts(part)
+    else:
+        yield expr
+
+
+def and_all(parts: list[Expr]) -> Expr | None:
+    """Re-join conjuncts: None for empty, the part itself for one."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return BoolOp("and", tuple(parts))
+
+
+def _bound_of(part: Expr, time_column: str):
+    """``(kind, value)`` when *part* is a literal bound on the time
+    column (kind ``"lo"`` / ``"hi"`` with half-open semantics), else
+    ``None``. ``>`` / ``<=`` bounds are nudged one ulp so they become
+    the ``>=`` / ``<`` form the store's half-open pruner speaks.
+    """
+    if not isinstance(part, Cmp):
+        return None
+    left, op, right = part.left, part.op, part.right
+    if isinstance(right, Col) and isinstance(left, Lit):
+        left, right = right, left
+        op = _FLIP[op]
+    if not (isinstance(left, Col) and isinstance(right, Lit)):
+        return None
+    if left.name != time_column:
+        return None
+    try:
+        value = float(right.value)
+    except (TypeError, ValueError):
+        return None
+    if np.isnan(value):
+        return None
+    if op == ">=":
+        return ("lo", value)
+    if op == ">":
+        return ("lo", float(np.nextafter(value, np.inf)))
+    if op == "<":
+        return ("hi", value)
+    if op == "<=":
+        return ("hi", float(np.nextafter(value, np.inf)))
+    return None
+
+
+def pushable_time_range(
+    expr: Expr, time_column: str
+) -> tuple[tuple[float, float] | None, Expr | None]:
+    """Split *expr* into a pushable time range and a residual predicate.
+
+    Walks the top-level conjuncts for bounds on *time_column* of the
+    form ``col op literal`` and folds them into one half-open range
+    ``[lo, hi)`` the sharded store can prune with. Pushed conjuncts are
+    removed from the residual — the store scan applies the identical
+    row filter, so re-applying them above would do the work twice.
+    Returns ``(None, expr)`` when nothing is pushable.
+
+    A range is pushable only when **both** sides are bounded by some
+    conjunct: the store's range mask always applies both edges, so a
+    one-sided predicate would gain a synthesized opposite edge
+    (``t >= -inf`` / ``t < inf``) that drops infinite timestamps the
+    original predicate kept.
+    """
+    lo, hi = -np.inf, np.inf
+    residual: list[Expr] = []
+    found_lo = found_hi = False
+    for part in conjuncts(expr):
+        bound = _bound_of(part, time_column)
+        if bound is None:
+            residual.append(part)
+            continue
+        kind, value = bound
+        if kind == "lo":
+            found_lo = True
+            lo = max(lo, value)
+        else:
+            found_hi = True
+            hi = min(hi, value)
+    if not (found_lo and found_hi):
+        return None, expr
+    return (lo, hi), and_all(residual)

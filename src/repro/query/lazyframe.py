@@ -1,0 +1,244 @@
+"""The user-facing deferred API: build a plan, optimize, collect.
+
+A :class:`LazyFrame` mirrors the eager :class:`~repro.frame.Frame`
+vocabulary (``filter`` / ``select`` / ``with_column`` / ``join`` /
+``groupby`` / ``sort_by`` / ``head``) but records plan nodes instead of
+touching data. ``collect()`` optimizes and executes; ``explain()``
+renders both the logical plan as written and the physical plan the
+optimizer produced::
+
+    from repro.query import col, scan_ras_log
+
+    lf = (
+        scan_ras_log("ras.log")
+        .filter(col("severity") == "FATAL")
+        .select(["event_time", "errcode", "location"])
+    )
+    print(lf.explain())
+    frame = lf.collect()
+
+Predicates are :mod:`repro.query.expr` expressions, so the engine can
+see *inside* them: which columns they read (projection pushdown into
+the parse cache / fleet store / raw readers), and which conjuncts bound
+the partition time column (shard pruning).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.frame.frame import Frame
+from repro.obs.trace import maybe_span
+from repro.query import plan as p
+from repro.query.execute import execute
+from repro.query.expr import Expr
+from repro.query.optimize import optimize
+from repro.query.plan import QueryError, render_plan
+
+__all__ = [
+    "LazyFrame",
+    "LazyGroupBy",
+    "scan_frame",
+    "scan_ras_log",
+    "scan_job_log",
+    "scan_store",
+]
+
+
+class LazyFrame:
+    """A deferred computation over one plan tree."""
+
+    __slots__ = ("_plan",)
+
+    def __init__(self, plan: p.PlanNode):
+        self._plan = plan
+
+    @property
+    def plan(self) -> p.PlanNode:
+        """The logical plan as built (never optimized in place)."""
+        return self._plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<LazyFrame\n{render_plan(self._plan)}\n>"
+
+    # -- builders (each returns a new LazyFrame) ------------------------
+
+    def filter(self, predicate: Expr) -> "LazyFrame":
+        """Keep rows where *predicate* evaluates True."""
+        if not isinstance(predicate, Expr):
+            raise QueryError(
+                "lazy filter takes an expression (col(...) == ...), "
+                f"not {type(predicate).__name__}"
+            )
+        return LazyFrame(p.Filter(self._plan, predicate))
+
+    def select(self, names: Sequence[str]) -> "LazyFrame":
+        """Project onto *names* in the given order."""
+        return LazyFrame(p.Select(self._plan, tuple(names)))
+
+    def with_column(self, name: str, expr: Expr) -> "LazyFrame":
+        """Add or replace column *name* computed from *expr*."""
+        if not isinstance(expr, Expr):
+            raise QueryError(
+                f"with_column takes an expression, not {type(expr).__name__}"
+            )
+        return LazyFrame(p.WithColumn(self._plan, name, expr))
+
+    def join(
+        self,
+        other: "LazyFrame",
+        on: str | Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+        indicator: str | None = None,
+    ) -> "LazyFrame":
+        """Equi-join with another lazy frame (same semantics as
+        :meth:`repro.frame.Frame.join`)."""
+        if not isinstance(other, LazyFrame):
+            raise QueryError("lazy join needs another LazyFrame")
+        if isinstance(on, str):
+            on = [on]
+        return LazyFrame(
+            p.Join(
+                self._plan,
+                other._plan,
+                tuple(on),
+                how=how,
+                suffix=suffix,
+                indicator=indicator,
+            )
+        )
+
+    def groupby(self, keys: str | Sequence[str]) -> "LazyGroupBy":
+        if isinstance(keys, str):
+            keys = [keys]
+        return LazyGroupBy(self._plan, tuple(keys))
+
+    def sort_by(self, *keys: str, ascending: bool = True) -> "LazyFrame":
+        if not keys:
+            raise QueryError("sort_by needs at least one key")
+        return LazyFrame(p.Sort(self._plan, tuple(keys), ascending=ascending))
+
+    def head(self, n: int = 5) -> "LazyFrame":
+        return LazyFrame(p.Head(self._plan, int(n)))
+
+    def map_batch(
+        self, fn: Callable[[Frame], Frame], label: str
+    ) -> "LazyFrame":
+        """Append an opaque ``Frame -> Frame`` kernel stage (an
+        optimization barrier — nothing is pushed across it)."""
+        return LazyFrame(p.MapBatch(self._plan, label, fn))
+
+    # -- execution ------------------------------------------------------
+
+    def optimized_plan(self) -> p.PlanNode:
+        """The physical plan ``collect()`` would run."""
+        return optimize(self._plan)
+
+    def collect(self, optimize_plan: bool = True) -> Frame:
+        """Execute the plan and return the result frame.
+
+        ``optimize_plan=False`` runs the logical plan verbatim — the
+        equivalence tests use it to separate optimizer bugs from
+        executor bugs.
+        """
+        plan = optimize(self._plan) if optimize_plan else self._plan
+        with maybe_span("query.collect", optimized=optimize_plan):
+            return execute(plan)
+
+    def explain(self, optimized: bool = True) -> str:
+        """Render the plan. With ``optimized=True`` (default) both the
+        logical plan and the physical plan are shown."""
+        out = ["== logical plan ==", render_plan(self._plan)]
+        if optimized:
+            out += ["== optimized plan ==", render_plan(self.optimized_plan())]
+        return "\n".join(out)
+
+
+class LazyGroupBy:
+    """Deferred group-by; terminalized by :meth:`agg` or :meth:`size`."""
+
+    __slots__ = ("_plan", "_keys")
+
+    def __init__(self, plan: p.PlanNode, keys: tuple[str, ...]):
+        self._plan = plan
+        self._keys = keys
+
+    def agg(self, **specs: tuple[str, str] | str) -> LazyFrame:
+        """Same spec shape as :meth:`repro.frame.groupby.GroupBy.agg`:
+        ``out=("source", "agg")`` or ``out="count"``."""
+        aggs = []
+        for out, spec in specs.items():
+            if isinstance(spec, str):
+                aggs.append((out, None, spec))
+            else:
+                source, aggname = spec
+                aggs.append((out, source, aggname))
+        return LazyFrame(p.GroupByAgg(self._plan, self._keys, tuple(aggs)))
+
+    def size(self) -> LazyFrame:
+        return self.agg(count="count")
+
+
+# ----------------------------------------------------------------------
+# scan constructors
+
+
+def scan_frame(frame: Frame, label: str = "frame") -> LazyFrame:
+    """Defer over an in-memory frame (projection is zero-copy)."""
+    return LazyFrame(p.ScanFrame(frame, label=label))
+
+
+def scan_ras_log(
+    path: str | Path,
+    policy: Any = None,
+    workers: int = 1,
+    cache: Any = None,
+    info: dict | None = None,
+) -> LazyFrame:
+    """Defer over a RAS log file.
+
+    With a :class:`~repro.parallel.cache.ParseCache`, a cache hit under
+    a pushed projection decodes only the requested columns. *info*, if
+    given, is filled at execution time with ``cache_status`` and the
+    ``quarantine`` report — the lazy analogue of the attributes
+    :func:`repro.logs.textio.read_ras_log` sets on its result.
+    """
+    return LazyFrame(
+        p.ScanLog(
+            path, "ras", policy=policy, workers=workers, cache=cache, info=info
+        )
+    )
+
+
+def scan_job_log(
+    path: str | Path,
+    policy: Any = None,
+    workers: int = 1,
+    cache: Any = None,
+    info: dict | None = None,
+) -> LazyFrame:
+    """Defer over a job log file (see :func:`scan_ras_log`)."""
+    return LazyFrame(
+        p.ScanLog(
+            path, "job", policy=policy, workers=workers, cache=cache, info=info
+        )
+    )
+
+
+def scan_store(
+    dataset: Any,
+    machine: str,
+    table: str,
+    mmap: bool = True,
+    info: dict | None = None,
+) -> LazyFrame:
+    """Defer over one (machine, table) of a sharded fleet store.
+
+    Time-range conjuncts in a filter above this scan prune whole shards
+    unopened; a pushed projection skips unrequested column files.
+    """
+    return LazyFrame(
+        p.ScanStore(dataset, machine, table, mmap=mmap, info=info)
+    )

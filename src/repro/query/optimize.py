@@ -1,0 +1,239 @@
+"""Plan rewrites: fusion, predicate pushdown, projection pushdown.
+
+Every rule preserves bit-identity with the unoptimized plan — the same
+rows in the same order with the same dtypes — which the fuzz suite
+(``tests/query/test_fuzz_equivalence.py``) checks against eager
+evaluation. The legality arguments, per rule:
+
+* **filter fusion** — ``filter(p1) . filter(p2)`` keeps exactly the
+  rows where both masks are True; evaluating ``p1 & p2`` over the
+  unfiltered input selects the same rows in the same order because a
+  row's expression value never depends on its neighbours.
+* **filter past with_column / sort** — expressions are elementwise and
+  ``sort_by`` is a *stable* lexsort, so a stable sort of a row subset
+  equals the subset of the stably-sorted whole.
+* **time-range pushdown** — the store scan applies the identical
+  half-open ``[lo, hi)`` row mask the pushed conjuncts expressed
+  (:func:`repro.query.expr.pushable_time_range` nudges ``>`` / ``<=``
+  bounds one ulp into that form), so the pushed conjuncts are removed
+  from the residual rather than re-applied.
+* **projection pushdown** — a scan that loads fewer columns returns
+  the same arrays for the columns it does load (the store/cache column
+  files are independent); any column a downstream node reads is kept.
+* **filter+select fusion** — projecting first shares arrays (zero
+  copy), so masking after the projection gathers only the surviving
+  columns; the mask itself is evaluated against the pre-projection
+  child, which is legal because projection drops no rows.
+
+:class:`~repro.query.plan.MapBatch` is an optimization barrier: nothing
+moves across it in either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.query import plan as p
+from repro.query.expr import BoolOp, Expr, pushable_time_range
+
+__all__ = ["optimize", "fuse_filters", "push_filters", "push_into_scans",
+           "prune_columns", "fuse_filter_select"]
+
+
+def optimize(node: p.PlanNode) -> p.PlanNode:
+    """The full rewrite pipeline, in dependency order: fuse adjacent
+    filters, sink filters toward the leaves (then fuse again — sinking
+    creates new adjacency), push time ranges into store scans, push
+    projections into every scan, and finally fuse filter+select pairs
+    into single-pass physical nodes."""
+    node = fuse_filters(node)
+    node = push_filters(node)
+    node = fuse_filters(node)
+    node = push_into_scans(node)
+    node = prune_columns(node, None)
+    node = fuse_filter_select(node)
+    return node
+
+
+def _rewrite_children(node: p.PlanNode, fn) -> p.PlanNode:
+    """*node* with each child rewritten by *fn* (leaves unchanged)."""
+    if isinstance(node, p.Join):
+        return replace(node, left=fn(node.left), right=fn(node.right))
+    kids = node.children()
+    if not kids:
+        return node
+    return replace(node, child=fn(kids[0]))
+
+
+# ----------------------------------------------------------------------
+# rule: fuse adjacent filters
+
+
+def fuse_filters(node: p.PlanNode) -> p.PlanNode:
+    """``Filter(Filter(x, p1), p2)`` → ``Filter(x, p1 & p2)``.
+
+    The conjunction evaluates as one running mask
+    (:meth:`repro.query.expr.BoolOp.evaluate`), so N chained filters
+    become one pass over the input instead of N shrinking copies.
+    """
+    node = _rewrite_children(node, fuse_filters)
+    if isinstance(node, p.Filter) and isinstance(node.child, p.Filter):
+        inner = node.child
+        fused: Expr = BoolOp("and", (inner.predicate, node.predicate))
+        return p.Filter(inner.child, fused)
+    return node
+
+
+# ----------------------------------------------------------------------
+# rule: sink filters toward the leaves
+
+
+def push_filters(node: p.PlanNode) -> p.PlanNode:
+    """Move filters below ``with_column`` (when the predicate does not
+    read the derived column) and below ``sort`` — shrinking the rows
+    those nodes touch and bringing predicates closer to the scans the
+    pushdown rules target."""
+    node = _rewrite_children(node, push_filters)
+    if not isinstance(node, p.Filter):
+        return node
+    child = node.child
+    if isinstance(child, p.WithColumn):
+        if child.name not in node.predicate.required_columns():
+            return replace(
+                child, child=push_filters(p.Filter(child.child, node.predicate))
+            )
+    if isinstance(child, p.Sort):
+        return replace(
+            child, child=push_filters(p.Filter(child.child, node.predicate))
+        )
+    return node
+
+
+# ----------------------------------------------------------------------
+# rule: push time-range predicates into store scans
+
+
+def push_into_scans(node: p.PlanNode) -> p.PlanNode:
+    """``Filter(ScanStore, p)``: fold ``p``'s time-column bounds into
+    the scan's ``time_range`` so whole shards prune unopened. The
+    residual (non-time) conjuncts stay as a filter above the scan; when
+    everything pushed, the filter disappears entirely."""
+    node = _rewrite_children(node, push_into_scans)
+    if not (isinstance(node, p.Filter) and isinstance(node.child, p.ScanStore)):
+        return node
+    scan = node.child
+    from repro.store.dataset import TIME_COLUMN
+
+    time_col = TIME_COLUMN.get(scan.table)
+    if time_col is None:
+        return node
+    rng, residual = pushable_time_range(node.predicate, time_col)
+    if rng is None:
+        return node
+    lo, hi = rng
+    if scan.time_range is not None:
+        lo = max(lo, scan.time_range[0])
+        hi = min(hi, scan.time_range[1])
+    pushed = replace(scan, time_range=(lo, hi))
+    if residual is None:
+        return pushed
+    return p.Filter(pushed, residual)
+
+
+# ----------------------------------------------------------------------
+# rule: projection pushdown
+
+
+def _leaf_schema(node: p.PlanNode) -> tuple[str, ...] | None:
+    return p.schema_of(node)
+
+
+def prune_columns(
+    node: p.PlanNode, required: frozenset[str] | None
+) -> p.PlanNode:
+    """Top-down projection pushdown.
+
+    *required* is the column set the parent will read, or ``None`` for
+    "everything" (the root, and anything below a barrier). Each node
+    adds the columns its own predicate/keys/exprs read and recurses;
+    scan leaves narrow their ``columns`` to the surviving set, kept in
+    the leaf's natural schema order so results stay deterministic (an
+    explicit ``select`` above imposes the caller's order).
+    """
+    if isinstance(node, p.SCAN_KINDS):
+        if required is None:
+            return node
+        base = _leaf_schema(node)
+        if base is None:
+            return node
+        want = tuple(c for c in base if c in required)
+        if len(want) == len(base):
+            return node
+        return replace(node, columns=want)
+    if isinstance(node, p.Select):
+        return replace(
+            node, child=prune_columns(node.child, frozenset(node.columns))
+        )
+    if isinstance(node, p.FusedFilterSelect):
+        need = frozenset(node.columns) | node.predicate.required_columns()
+        return replace(node, child=prune_columns(node.child, need))
+    if isinstance(node, p.Filter):
+        need = (
+            None
+            if required is None
+            else required | node.predicate.required_columns()
+        )
+        return replace(node, child=prune_columns(node.child, need))
+    if isinstance(node, p.WithColumn):
+        need = (
+            None
+            if required is None
+            else (required - {node.name}) | node.expr.required_columns()
+        )
+        return replace(node, child=prune_columns(node.child, need))
+    if isinstance(node, p.Sort):
+        need = None if required is None else required | frozenset(node.keys)
+        return replace(node, child=prune_columns(node.child, need))
+    if isinstance(node, p.Head):
+        return replace(node, child=prune_columns(node.child, required))
+    if isinstance(node, p.GroupByAgg):
+        need = frozenset(node.keys) | frozenset(
+            src for _out, src, _how in node.aggs if src is not None
+        )
+        return replace(node, child=prune_columns(node.child, need))
+    if isinstance(node, p.Join):
+        # conservative: suffix renames make column provenance ambiguous,
+        # so joins are a pruning barrier (each side keeps its schema)
+        return replace(
+            node,
+            left=prune_columns(node.left, None),
+            right=prune_columns(node.right, None),
+        )
+    if isinstance(node, p.MapBatch):
+        # opaque kernel: it may read anything its child produces
+        return replace(node, child=prune_columns(node.child, None))
+    return _rewrite_children(node, lambda c: prune_columns(c, None))
+
+
+# ----------------------------------------------------------------------
+# rule: fuse filter+select chains
+
+
+def fuse_filter_select(node: p.PlanNode) -> p.PlanNode:
+    """``Select(Filter(x, p), cols)`` and ``Filter(Select(x, cols), p)``
+    both become ``FusedFilterSelect(x, p, cols)``: the mask is evaluated
+    once against ``x`` and only the selected columns are gathered."""
+    node = _rewrite_children(node, fuse_filter_select)
+    if isinstance(node, p.Select) and isinstance(node.child, p.Filter):
+        inner = node.child
+        return p.FusedFilterSelect(inner.child, inner.predicate, node.columns)
+    if isinstance(node, p.Filter) and isinstance(node.child, p.Select):
+        inner = node.child
+        # only when the predicate reads surviving columns — filtering on
+        # a dropped column must keep raising KeyError, as it does
+        # unoptimized
+        if node.predicate.required_columns() <= frozenset(inner.columns):
+            return p.FusedFilterSelect(
+                inner.child, node.predicate, inner.columns
+            )
+    return node

@@ -1,0 +1,402 @@
+"""The deferred query plan: an immutable tree of relational nodes.
+
+A plan is built by the :class:`~repro.query.lazyframe.LazyFrame` API,
+rewritten by :mod:`repro.query.optimize` and run by
+:mod:`repro.query.execute`. Nodes are plain frozen dataclasses; every
+rewrite produces a new tree (``dataclasses.replace``), so the logical
+plan a user built stays intact next to the optimized plan —
+``explain()`` can show both.
+
+Leaves are the three scan sources pushdown targets:
+
+* :class:`ScanFrame` — an in-memory :class:`~repro.frame.Frame`
+  (projection is a zero-copy ``select``);
+* :class:`ScanLog` — a RAS/job log file behind the content-addressed
+  parse cache, where a pushed column subset means the cache decodes
+  only the requested npz members;
+* :class:`ScanStore` — a :class:`~repro.store.ShardedDataset` table,
+  where a pushed time range prunes shards unopened and a pushed column
+  subset skips whole column files.
+
+:class:`MapBatch` wraps an opaque ``Frame -> Frame`` kernel (the
+pipeline's extract/filter/match stages); it is a barrier for every
+rewrite, which is exactly what keeps kernel semantics out of the
+optimizer's hands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.frame.frame import Frame
+from repro.query.expr import Expr
+
+__all__ = [
+    "PlanNode",
+    "ScanFrame",
+    "ScanLog",
+    "ScanStore",
+    "Filter",
+    "Select",
+    "WithColumn",
+    "Join",
+    "GroupByAgg",
+    "Sort",
+    "Head",
+    "MapBatch",
+    "FusedFilterSelect",
+    "QueryError",
+    "schema_of",
+    "scan_leaves",
+    "attach_scan_taps",
+    "render_plan",
+]
+
+
+class QueryError(ValueError):
+    """A malformed plan or an operation the plan cannot express."""
+
+
+@dataclass(frozen=True, eq=False)
+class PlanNode:
+    """Base node; subclasses define ``kind`` and their children."""
+
+    kind = "node"
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        """One-line detail string for ``explain()``."""
+        return ""
+
+
+# ----------------------------------------------------------------------
+# scan leaves
+
+
+@dataclass(frozen=True, eq=False)
+class ScanFrame(PlanNode):
+    """Scan of an in-memory frame."""
+
+    frame: Frame
+    label: str = "frame"
+    #: pushed column subset (None = all columns)
+    columns: tuple[str, ...] | None = None
+    #: side-channel observer called with the scanned frame (pipeline
+    #: window capture); never part of plan identity
+    tap: Callable[[Frame], None] | None = field(default=None, repr=False)
+
+    kind = "scan"
+
+    def describe(self) -> str:
+        cols = "*" if self.columns is None else ", ".join(self.columns)
+        return f"{self.label} [{cols}]"
+
+
+@dataclass(frozen=True, eq=False)
+class ScanLog(PlanNode):
+    """Scan of a RAS/job log file, optionally via the parse cache."""
+
+    path: str | Path
+    table: str  # "ras" | "job"
+    policy: Any = None
+    workers: int = 1
+    cache: Any = None  # ParseCache | None
+    columns: tuple[str, ...] | None = None
+    #: filled by the executor when provided: cache_status, quarantine
+    info: dict | None = field(default=None, repr=False)
+    tap: Callable[[Frame], None] | None = field(default=None, repr=False)
+
+    kind = "scan"
+
+    def describe(self) -> str:
+        cols = "*" if self.columns is None else ", ".join(self.columns)
+        cache = " cache" if self.cache is not None else ""
+        return f"{self.table}:{self.path} [{cols}]{cache}"
+
+
+@dataclass(frozen=True, eq=False)
+class ScanStore(PlanNode):
+    """Scan of one (machine, table) in a sharded fleet store."""
+
+    dataset: Any  # ShardedDataset
+    machine: str
+    table: str
+    time_range: tuple[float, float] | None = None
+    columns: tuple[str, ...] | None = None
+    mmap: bool = True
+    info: dict | None = field(default=None, repr=False)
+    tap: Callable[[Frame], None] | None = field(default=None, repr=False)
+
+    kind = "scan"
+
+    def describe(self) -> str:
+        cols = "*" if self.columns is None else ", ".join(self.columns)
+        when = (
+            ""
+            if self.time_range is None
+            else f" time=[{self.time_range[0]:g}, {self.time_range[1]:g})"
+        )
+        return f"store:{self.machine}/{self.table} [{cols}]{when}"
+
+
+SCAN_KINDS = (ScanFrame, ScanLog, ScanStore)
+
+
+# ----------------------------------------------------------------------
+# relational operators
+
+
+@dataclass(frozen=True, eq=False)
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    kind = "filter"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return self.predicate.describe()
+
+
+@dataclass(frozen=True, eq=False)
+class Select(PlanNode):
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    kind = "select"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return ", ".join(self.columns)
+
+
+@dataclass(frozen=True, eq=False)
+class WithColumn(PlanNode):
+    child: PlanNode
+    name: str
+    expr: Expr
+
+    kind = "with_column"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"{self.name} = {self.expr.describe()}"
+
+
+@dataclass(frozen=True, eq=False)
+class Join(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    on: tuple[str, ...]
+    how: str = "inner"
+    suffix: str = "_right"
+    indicator: str | None = None
+
+    kind = "join"
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"{self.how} on {', '.join(self.on)}"
+
+
+@dataclass(frozen=True, eq=False)
+class GroupByAgg(PlanNode):
+    child: PlanNode
+    keys: tuple[str, ...]
+    #: (output name, source column or None, aggregation name)
+    aggs: tuple[tuple[str, str | None, str], ...]
+
+    kind = "groupby"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{out}={how}({src or ''})" for out, src, how in self.aggs
+        )
+        return f"by {', '.join(self.keys)}: {parts}"
+
+
+@dataclass(frozen=True, eq=False)
+class Sort(PlanNode):
+    child: PlanNode
+    keys: tuple[str, ...]
+    ascending: bool = True
+
+    kind = "sort"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        arrow = "asc" if self.ascending else "desc"
+        return f"{', '.join(self.keys)} {arrow}"
+
+
+@dataclass(frozen=True, eq=False)
+class Head(PlanNode):
+    child: PlanNode
+    n: int
+
+    kind = "head"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return str(self.n)
+
+
+@dataclass(frozen=True, eq=False)
+class MapBatch(PlanNode):
+    """An opaque kernel stage; a barrier for every optimizer rule."""
+
+    child: PlanNode
+    label: str
+    fn: Callable[[Frame], Frame] = field(repr=False)
+
+    kind = "map"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True, eq=False)
+class FusedFilterSelect(PlanNode):
+    """Physical fusion of a filter and the select above it: one mask
+    evaluation, applied only to the surviving columns — columns the
+    select drops are never filtered, rows the filter drops are never
+    projected."""
+
+    child: PlanNode
+    predicate: Expr
+    columns: tuple[str, ...]
+
+    kind = "filter+select"
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"{self.predicate.describe()} -> {', '.join(self.columns)}"
+
+
+# ----------------------------------------------------------------------
+# plan utilities
+
+
+def schema_of(node: PlanNode) -> tuple[str, ...] | None:
+    """The node's output columns in order, or None when unknowable
+    (anything downstream of a :class:`MapBatch` barrier)."""
+    if isinstance(node, ScanFrame):
+        return (
+            node.columns
+            if node.columns is not None
+            else tuple(node.frame.columns)
+        )
+    if isinstance(node, ScanLog):
+        if node.columns is not None:
+            return node.columns
+        from repro.logs.job import JOB_COLUMNS
+        from repro.logs.ras import RAS_COLUMNS
+
+        return tuple(RAS_COLUMNS if node.table == "ras" else JOB_COLUMNS)
+    if isinstance(node, ScanStore):
+        if node.columns is not None:
+            return node.columns
+        shards = node.dataset.manifest.select(
+            machine=node.machine, table=node.table
+        )
+        if not shards:
+            return None
+        return tuple(name for name, _enc, _dt in shards[0].columns)
+    if isinstance(node, (Filter, Sort, Head)):
+        return schema_of(node.child)
+    if isinstance(node, (Select, FusedFilterSelect)):
+        return node.columns
+    if isinstance(node, WithColumn):
+        base = schema_of(node.child)
+        if base is None:
+            return None
+        return base if node.name in base else base + (node.name,)
+    if isinstance(node, GroupByAgg):
+        return node.keys + tuple(out for out, _src, _how in node.aggs)
+    if isinstance(node, Join):
+        left = schema_of(node.left)
+        right = schema_of(node.right)
+        if left is None or right is None:
+            return None
+        out = list(left)
+        taken = set(left)
+        for name in right:
+            if name in node.on:
+                continue
+            final = name + node.suffix if name in taken else name
+            out.append(final)
+            taken.add(final)
+        if node.indicator:
+            out.append(node.indicator)
+        return tuple(out)
+    if isinstance(node, MapBatch):
+        return None
+    return None
+
+
+def scan_leaves(node: PlanNode) -> list[PlanNode]:
+    """Every scan leaf of the plan, left to right."""
+    if isinstance(node, SCAN_KINDS):
+        return [node]
+    out: list[PlanNode] = []
+    for child in node.children():
+        out.extend(scan_leaves(child))
+    return out
+
+
+def attach_scan_taps(
+    node: PlanNode, tap: Callable[[Frame], None]
+) -> PlanNode:
+    """A copy of the plan with *tap* installed on every scan leaf.
+
+    The tap observes each leaf's loaded frame (after column pruning,
+    before any filter) — the pipeline uses it to capture the raw time
+    span without forcing a materialization barrier into the plan.
+    """
+    if isinstance(node, SCAN_KINDS):
+        return replace(node, tap=tap)
+    kids = node.children()
+    if not kids:
+        return node
+    if isinstance(node, Join):
+        return replace(
+            node,
+            left=attach_scan_taps(node.left, tap),
+            right=attach_scan_taps(node.right, tap),
+        )
+    return replace(node, child=attach_scan_taps(kids[0], tap))
+
+
+def render_plan(node: PlanNode, indent: int = 0) -> str:
+    """An indented top-down rendering of the plan tree."""
+    pad = "  " * indent
+    detail = node.describe()
+    line = f"{pad}{node.kind.upper()}" + (f" {detail}" if detail else "")
+    lines = [line]
+    for child in node.children():
+        lines.append(render_plan(child, indent + 1))
+    return "\n".join(lines)

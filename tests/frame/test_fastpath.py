@@ -1,0 +1,73 @@
+"""No-op fast paths: all-True filters and full-column selects return
+``self`` instead of copying — safe because frames are immutable by
+convention, and proven safe here by regression."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture()
+def frame():
+    return Frame(
+        {
+            "a": np.arange(6, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 6),
+            "s": np.array(list("abcdef"), dtype=object),
+        }
+    )
+
+
+class TestFilterFastPath:
+    def test_all_true_returns_self(self, frame):
+        assert frame.filter(np.ones(6, dtype=bool)) is frame
+
+    def test_partial_mask_still_copies(self, frame):
+        mask = np.array([True, False, True, True, True, True])
+        out = frame.filter(mask)
+        assert out is not frame
+        assert out.num_rows == 5
+        assert frame.num_rows == 6
+
+    def test_validation_still_runs_before_fast_path(self, frame):
+        with pytest.raises(TypeError):
+            frame.filter(np.ones(6, dtype=np.int64))
+        with pytest.raises(ValueError):
+            frame.filter(np.ones(5, dtype=bool))
+
+    def test_shared_result_is_immutable_safe(self, frame):
+        # downstream builders on the shared result must not leak back
+        # into the original (regression for the sharing fast path)
+        shared = frame.filter(np.ones(6, dtype=bool))
+        grown = shared.with_column("z", np.zeros(6))
+        assert "z" not in frame
+        assert grown is not frame
+        dropped = shared.select(["a"])
+        assert frame.columns == ["a", "b", "s"]
+        assert dropped.columns == ["a"]
+
+    def test_empty_frame_all_true(self):
+        empty = Frame({"a": np.array([], dtype=np.int64)})
+        assert empty.filter(np.array([], dtype=bool)) is empty
+
+
+class TestSelectFastPath:
+    def test_full_select_in_order_returns_self(self, frame):
+        assert frame.select(["a", "b", "s"]) is frame
+        assert frame.select(frame.columns) is frame
+
+    def test_reordered_full_select_copies(self, frame):
+        out = frame.select(["s", "a", "b"])
+        assert out is not frame
+        assert out.columns == ["s", "a", "b"]
+
+    def test_subset_select_copies_frame_not_arrays(self, frame):
+        out = frame.select(["a", "b"])
+        assert out is not frame
+        # projection stays zero-copy: the column arrays are shared
+        assert out["a"] is frame["a"]
+
+    def test_unknown_column_still_raises(self, frame):
+        with pytest.raises(KeyError):
+            frame.select(["a", "zzz"])

@@ -1,0 +1,104 @@
+"""Shared builders for the query-engine tests: small, schema-valid
+RAS/job logs (no simulation — these tests exercise plumbing, not
+physics)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.logs.job import JOB_COLUMNS, JobLog
+from repro.logs.ras import RAS_COLUMNS, RasLog
+
+
+def make_ras_log(n: int = 300, seed: int = 3) -> RasLog:
+    rng = np.random.default_rng(seed)
+    sev = np.array(["INFO", "WARN", "ERROR", "FATAL"], dtype=object)
+    comp = np.array(["KERNEL", "MMCS", "CARD", "MC"], dtype=object)
+    data = {
+        "recid": np.arange(1, n + 1, dtype=np.int64),
+        "msg_id": np.array(
+            [f"KERN_{i % 17:04d}" for i in range(n)], dtype=object
+        ),
+        "component": comp[rng.integers(0, len(comp), n)],
+        "subcomponent": np.array(
+            [f"sub{i % 5}" for i in range(n)], dtype=object
+        ),
+        "errcode": np.array(
+            [f"_bgp_err_{i % 7}" for i in range(n)], dtype=object
+        ),
+        "severity": sev[rng.integers(0, len(sev), n)],
+        "event_time": np.cumsum(rng.random(n) * 5.0) + 1.2e9,
+        "location": np.array(
+            [f"R{i % 4:02d}-M{i % 2}" for i in range(n)], dtype=object
+        ),
+        "serialnumber": np.array(
+            [f"SN{i:08d}" for i in range(n)], dtype=object
+        ),
+        "message": np.array(
+            [f"machine check interrupt {i} " + "x" * 60 for i in range(n)],
+            dtype=object,
+        ),
+    }
+    return RasLog(Frame({c: data[c] for c in RAS_COLUMNS}))
+
+
+def make_job_log(n: int = 60, seed: int = 3) -> JobLog:
+    rng = np.random.default_rng(seed)
+    start = np.sort(1.2e9 + rng.random(n) * 1500.0)
+    data = {
+        "job_id": np.arange(1, n + 1, dtype=np.int64),
+        "job_name": np.array([f"job{i % 9}" for i in range(n)], dtype=object),
+        "executable": np.array(
+            [f"/bin/app{i % 4}" for i in range(n)], dtype=object
+        ),
+        "queued_time": start - rng.random(n) * 60.0,
+        "start_time": start,
+        "end_time": start + 120.0 + rng.random(n) * 600.0,
+        "location": np.array(
+            [f"R{i % 4:02d}-M{i % 2}" for i in range(n)], dtype=object
+        ),
+        "user": np.array([f"user{i % 5}" for i in range(n)], dtype=object),
+        "project": np.array([f"proj{i % 3}" for i in range(n)], dtype=object),
+        "size_midplanes": (1 + (np.arange(n) % 4)).astype(np.int64),
+    }
+    return JobLog(Frame({c: data[c] for c in JOB_COLUMNS}))
+
+
+@pytest.fixture()
+def ras_log():
+    return make_ras_log()
+
+
+@pytest.fixture()
+def np_load_spy(monkeypatch):
+    """Record every ``np.load`` path and, for npz entries, every member
+    actually read — pushdown tests *prove* untouched columns were never
+    opened/decoded instead of trusting the code path."""
+    paths: list[str] = []
+    members: list[str] = []
+    real_load = np.load
+
+    class _NpzSpy:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __enter__(self):
+            self._inner.__enter__()
+            return self
+
+        def __exit__(self, *exc):
+            return self._inner.__exit__(*exc)
+
+        def __getitem__(self, key):
+            members.append(key)
+            return self._inner[key]
+
+    def spy(path, *args, **kwargs):
+        paths.append(str(path))
+        out = real_load(path, *args, **kwargs)
+        if str(path).endswith(".npz"):
+            return _NpzSpy(out)
+        return out
+
+    monkeypatch.setattr(np, "load", spy)
+    return paths, members

@@ -1,0 +1,194 @@
+"""The deferred expression DSL: evaluation semantics (NaN included)
+and the predicate analysis that feeds pushdown."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.query import col, lit
+from repro.query.expr import (
+    BoolOp,
+    Cmp,
+    and_all,
+    conjuncts,
+    pushable_time_range,
+)
+
+
+@pytest.fixture()
+def frame():
+    return Frame(
+        {
+            "t": np.array([1.0, 2.5, np.nan, 4.0, np.inf], dtype=np.float64),
+            "n": np.array([10, 20, 30, 40, 50], dtype=np.int64),
+            "sev": np.array(
+                ["FATAL", "INFO", "FATAL", "WARN", "ERROR"], dtype=object
+            ),
+        }
+    )
+
+
+class TestEvaluate:
+    def test_cmp_matches_numpy(self, frame):
+        got = (col("n") > 25).evaluate(frame)
+        np.testing.assert_array_equal(got, frame["n"] > 25)
+        assert got.dtype == bool
+
+    def test_string_equality(self, frame):
+        got = (col("sev") == "FATAL").evaluate(frame)
+        np.testing.assert_array_equal(got, frame["sev"] == "FATAL")
+
+    def test_nan_compares_false_like_numpy(self, frame):
+        # NaN rows are False under every operator except != — exactly
+        # the eager numpy semantics the lazy engine must reproduce
+        for expr, eager in [
+            (col("t") > 0.0, frame["t"] > 0.0),
+            (col("t") <= 100.0, frame["t"] <= 100.0),
+            (col("t") == np.nan, frame["t"] == np.nan),
+            (col("t") != np.nan, frame["t"] != np.nan),
+        ]:
+            np.testing.assert_array_equal(expr.evaluate(frame), eager)
+        assert not (col("t") > 0.0).evaluate(frame)[2]
+        assert (col("t") != 0.0).evaluate(frame)[2]
+
+    def test_boolop_and_or_not(self, frame):
+        pred = (col("n") >= 20) & (col("sev") == "FATAL")
+        np.testing.assert_array_equal(
+            pred.evaluate(frame),
+            (frame["n"] >= 20) & (frame["sev"] == "FATAL"),
+        )
+        pred = (col("n") < 15) | (col("sev") == "WARN")
+        np.testing.assert_array_equal(
+            pred.evaluate(frame),
+            (frame["n"] < 15) | (frame["sev"] == "WARN"),
+        )
+        np.testing.assert_array_equal(
+            (~(col("sev") == "INFO")).evaluate(frame),
+            frame["sev"] != "INFO",
+        )
+
+    def test_isin_string_uses_set_path(self, frame):
+        got = col("sev").isin(["FATAL", "ERROR"]).evaluate(frame)
+        np.testing.assert_array_equal(
+            got, frame.mask_isin("sev", ["FATAL", "ERROR"])
+        )
+
+    def test_isin_numeric_and_empty(self, frame):
+        np.testing.assert_array_equal(
+            col("n").isin([10, 40]).evaluate(frame),
+            np.isin(frame["n"], [10, 40]),
+        )
+        assert not col("n").isin([]).evaluate(frame).any()
+
+    def test_arith(self, frame):
+        got = ((col("n") * 2 + 1) / lit(4.0)).evaluate(frame)
+        np.testing.assert_array_equal(got, (frame["n"] * 2 + 1) / 4.0)
+        np.testing.assert_array_equal(
+            (col("t") - col("n")).evaluate(frame), frame["t"] - frame["n"]
+        )
+
+    def test_required_columns(self):
+        pred = ((col("a") > 1) & (col("b") == "x")) | (~col("c").isin([2]))
+        assert pred.required_columns() == frozenset({"a", "b", "c"})
+        assert lit(5).required_columns() == frozenset()
+
+    def test_same_as_is_structural(self):
+        assert (col("a") > 1).same_as(col("a") > 1)
+        assert not (col("a") > 1).same_as(col("a") >= 1)
+
+    def test_bad_ops_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("~=", col("a"), lit(1))
+        with pytest.raises(ValueError):
+            BoolOp("xor", (col("a") > 1, col("b") > 2))
+        with pytest.raises(ValueError):
+            BoolOp("and", (col("a") > 1,))
+
+
+class TestConjuncts:
+    def test_flattens_nested_and(self):
+        a, b, c = col("x") > 1, col("y") > 2, col("z") > 3
+        parts = list(conjuncts((a & b) & c))
+        assert len(parts) == 3
+        assert [p.describe() for p in parts] == [
+            p.describe() for p in (a, b, c)
+        ]
+
+    def test_or_is_opaque(self):
+        parts = list(conjuncts((col("x") > 1) | (col("y") > 2)))
+        assert len(parts) == 1
+
+    def test_and_all_roundtrip(self):
+        assert and_all([]) is None
+        only = col("x") > 1
+        assert and_all([only]) is only
+        both = and_all([col("x") > 1, col("y") > 2])
+        assert isinstance(both, BoolOp) and both.op == "and"
+
+
+class TestPushableTimeRange:
+    def test_two_sided_range_pushes(self):
+        pred = (
+            (col("t") >= 10.0) & (col("t") < 20.0) & (col("sev") == "FATAL")
+        )
+        rng, residual = pushable_time_range(pred, "t")
+        assert rng == (10.0, 20.0)
+        assert residual is not None
+        assert residual.same_as(col("sev") == "FATAL")
+
+    def test_fully_pushed_leaves_no_residual(self):
+        rng, residual = pushable_time_range(
+            (col("t") >= 1.0) & (col("t") < 2.0), "t"
+        )
+        assert rng == (1.0, 2.0)
+        assert residual is None
+
+    def test_one_sided_refuses(self):
+        # the store mask applies both edges; pushing one side would
+        # synthesize a t < inf edge that drops +inf timestamps
+        for pred in ((col("t") >= 10.0), (col("t") < 20.0)):
+            rng, residual = pushable_time_range(pred, "t")
+            assert rng is None
+            assert residual is pred
+
+    def test_strict_bounds_nudged_one_ulp(self):
+        rng, residual = pushable_time_range(
+            (col("t") > 10.0) & (col("t") <= 20.0), "t"
+        )
+        assert residual is None
+        lo, hi = rng
+        assert lo == np.nextafter(10.0, np.inf)
+        assert hi == np.nextafter(20.0, np.inf)
+
+    def test_literal_on_left_flips(self):
+        rng, residual = pushable_time_range(
+            (lit(10.0) <= col("t")) & (lit(20.0) > col("t")), "t"
+        )
+        assert rng == (10.0, 20.0)
+        assert residual is None
+
+    def test_tightest_bounds_win(self):
+        rng, _ = pushable_time_range(
+            (col("t") >= 1.0) & (col("t") >= 5.0)
+            & (col("t") < 30.0) & (col("t") < 20.0),
+            "t",
+        )
+        assert rng == (5.0, 20.0)
+
+    def test_other_columns_stay_residual(self):
+        pred = (col("u") >= 1.0) & (col("u") < 2.0)
+        rng, residual = pushable_time_range(pred, "t")
+        assert rng is None and residual is pred
+
+    def test_nan_bound_never_pushes(self):
+        pred = (col("t") > np.nan) & (col("t") < 5.0)
+        rng, residual = pushable_time_range(pred, "t")
+        assert rng is None and residual is pred
+
+    def test_equality_and_or_are_not_bounds(self):
+        pred = (col("t") == 5.0) & (col("t") < 9.0)
+        rng, residual = pushable_time_range(pred, "t")
+        assert rng is None and residual is pred
+        disj = (col("t") >= 1.0) | (col("t") < 2.0)
+        rng, residual = pushable_time_range(disj, "t")
+        assert rng is None and residual is disj

@@ -1,0 +1,242 @@
+"""LazyFrame API semantics, explain() output and optimizer shapes."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.query import LazyFrame, QueryError, col, lit, scan_frame
+from repro.query import plan as p
+from repro.stream.equivalence import frames_equal
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(7)
+    n = 200
+    return Frame(
+        {
+            "a": rng.integers(0, 10, n).astype(np.int64),
+            "b": rng.random(n),
+            "c": np.array([f"k{i % 5}" for i in range(n)], dtype=object),
+            "d": rng.random(n) * 100.0,
+        }
+    )
+
+
+class TestCollectMatchesEager:
+    def test_filter_select(self, frame):
+        lf = scan_frame(frame).filter(col("a") >= 5).select(["a", "c"])
+        want = frame.filter(frame["a"] >= 5).select(["a", "c"])
+        assert frames_equal(lf.collect(), want)
+        assert frames_equal(lf.collect(optimize_plan=False), want)
+
+    def test_with_column_scalar_and_vector(self, frame):
+        lf = (
+            scan_frame(frame)
+            .with_column("e", col("b") * 2.0)
+            .with_column("one", lit(1.0))
+        )
+        want = frame.with_column("e", frame["b"] * 2.0).with_column(
+            "one", np.full(frame.num_rows, 1.0)
+        )
+        assert frames_equal(lf.collect(), want)
+
+    def test_sort_head(self, frame):
+        lf = scan_frame(frame).sort_by("c", "a").head(17)
+        assert frames_equal(lf.collect(), frame.sort_by("c", "a").head(17))
+
+    def test_groupby_agg_and_size(self, frame):
+        lf = scan_frame(frame).groupby("c").agg(
+            n="count", total=("b", "sum"), widest=("a", "max")
+        )
+        want = frame.groupby("c").agg(
+            n="count", total=("b", "sum"), widest=("a", "max")
+        )
+        assert frames_equal(lf.collect(), want)
+        assert frames_equal(
+            scan_frame(frame).groupby("c").size().collect(),
+            frame.groupby("c").agg(count="count"),
+        )
+
+    def test_join(self, frame):
+        right = Frame(
+            {
+                "c": np.array([f"k{i}" for i in range(5)], dtype=object),
+                "w": np.arange(5, dtype=np.int64),
+            }
+        )
+        lf = scan_frame(frame).join(scan_frame(right), on="c", how="left")
+        want = frame.join(right, on=["c"], how="left")
+        assert frames_equal(lf.collect(), want)
+
+    def test_map_batch(self, frame):
+        lf = scan_frame(frame).map_batch(lambda f: f.head(3), "take3")
+        assert frames_equal(lf.collect(), frame.head(3))
+
+    def test_fused_plan_equals_unoptimized(self, frame):
+        lf = (
+            scan_frame(frame)
+            .filter(col("a") >= 2)
+            .filter(col("b") < 0.9)
+            .select(["b", "c"])
+        )
+        assert frames_equal(
+            lf.collect(), lf.collect(optimize_plan=False)
+        )
+
+
+class TestApiValidation:
+    def test_filter_rejects_mask(self, frame):
+        with pytest.raises(QueryError):
+            scan_frame(frame).filter(frame["a"] >= 5)
+
+    def test_with_column_rejects_array(self, frame):
+        with pytest.raises(QueryError):
+            scan_frame(frame).with_column("e", frame["b"])
+
+    def test_join_needs_lazyframe(self, frame):
+        with pytest.raises(QueryError):
+            scan_frame(frame).join(frame, on="c")
+
+    def test_sort_needs_keys(self, frame):
+        with pytest.raises(QueryError):
+            scan_frame(frame).sort_by()
+
+    def test_filter_on_missing_column_raises_at_collect(self, frame):
+        lf = scan_frame(frame).filter(col("zzz") > 1)
+        with pytest.raises(KeyError):
+            lf.collect()
+
+    def test_plan_is_immutable_across_builders(self, frame):
+        base = scan_frame(frame)
+        filtered = base.filter(col("a") > 1)
+        assert base.plan is not filtered.plan
+        assert isinstance(base.plan, p.ScanFrame)
+
+
+class TestOptimizerShapes:
+    def test_adjacent_filters_fuse(self, frame):
+        lf = scan_frame(frame).filter(col("a") >= 2).filter(col("b") < 0.5)
+        opt = lf.optimized_plan()
+        assert isinstance(opt, p.Filter)
+        assert isinstance(opt.child, p.ScanFrame)
+        assert "&" in opt.predicate.describe()
+        # the logical plan still shows the two filters as written
+        assert isinstance(lf.plan, p.Filter)
+        assert isinstance(lf.plan.child, p.Filter)
+
+    def test_filter_then_select_fuses(self, frame):
+        opt = (
+            scan_frame(frame)
+            .filter(col("a") >= 2)
+            .select(["b", "c"])
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.FusedFilterSelect)
+        assert opt.columns == ("b", "c")
+        # projection pushdown narrowed the scan to what the fused node
+        # reads (predicate column + surviving columns, schema order)
+        assert isinstance(opt.child, p.ScanFrame)
+        assert opt.child.columns == ("a", "b", "c")
+
+    def test_select_then_filter_fuses_when_legal(self, frame):
+        opt = (
+            scan_frame(frame)
+            .select(["a", "b"])
+            .filter(col("a") >= 2)
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.FusedFilterSelect)
+
+    def test_select_then_filter_on_dropped_column_stays_eager(self, frame):
+        lf = scan_frame(frame).select(["b", "c"]).filter(col("a") >= 2)
+        opt = lf.optimized_plan()
+        # must NOT fuse: eager semantics raise KeyError for the dropped
+        # column, and the optimized plan must preserve that
+        assert isinstance(opt, p.Filter)
+        with pytest.raises(KeyError):
+            lf.collect()
+        with pytest.raises(KeyError):
+            lf.collect(optimize_plan=False)
+
+    def test_filter_sinks_below_sort(self, frame):
+        opt = (
+            scan_frame(frame)
+            .sort_by("b")
+            .filter(col("a") >= 5)
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.Sort)
+        assert isinstance(opt.child, p.Filter)
+
+    def test_filter_sinks_below_with_column(self, frame):
+        opt = (
+            scan_frame(frame)
+            .with_column("e", col("b") * 2.0)
+            .filter(col("a") >= 5)
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.WithColumn)
+
+    def test_filter_on_derived_column_does_not_sink(self, frame):
+        opt = (
+            scan_frame(frame)
+            .with_column("e", col("b") * 2.0)
+            .filter(col("e") >= 0.5)
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.Filter)
+        assert isinstance(opt.child, p.WithColumn)
+
+    def test_groupby_prunes_scan_to_keys_and_sources(self, frame):
+        opt = (
+            scan_frame(frame)
+            .groupby("c")
+            .agg(total=("b", "sum"))
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.GroupByAgg)
+        assert opt.child.columns == ("b", "c")
+
+    def test_map_batch_is_a_barrier(self, frame):
+        opt = (
+            scan_frame(frame)
+            .map_batch(lambda f: f, "noop")
+            .filter(col("a") >= 5)
+            .optimized_plan()
+        )
+        assert isinstance(opt, p.Filter)
+        assert isinstance(opt.child, p.MapBatch)
+        # nothing pushed below the barrier: the scan stays unpruned
+        assert opt.child.child.columns is None
+
+    def test_sort_with_pruning_keeps_sort_keys(self, frame):
+        opt = (
+            scan_frame(frame)
+            .sort_by("d")
+            .select(["a"])
+            .optimized_plan()
+        )
+        leaf = p.scan_leaves(opt)[0]
+        assert set(leaf.columns) == {"a", "d"}
+
+
+class TestExplain:
+    def test_explain_shows_both_plans(self, frame):
+        lf = (
+            scan_frame(frame, label="ras")
+            .filter(col("a") >= 2)
+            .select(["b", "c"])
+        )
+        text = lf.explain()
+        assert "== logical plan ==" in text
+        assert "== optimized plan ==" in text
+        assert "FILTER+SELECT" in text
+        assert "ras [a, b, c]" in text
+
+    def test_explain_unoptimized_only(self, frame):
+        text = scan_frame(frame).filter(col("a") >= 2).explain(
+            optimized=False
+        )
+        assert "== logical plan ==" in text
+        assert "== optimized plan ==" not in text

@@ -1,0 +1,149 @@
+"""Pushdown through ScanStore plans: time-range conjuncts prune whole
+shards unopened, projections skip column files, and the optimized plan
+stays bit-identical to both the unoptimized plan and the eager chain."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.query import col, scan_store
+from repro.query import plan as p
+from repro.store import ShardedDataset
+from repro.stream.equivalence import frames_equal
+
+from tests.query.conftest import make_job_log, make_ras_log
+
+MACHINE = "m0"
+WINDOWS = 5
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    ds = ShardedDataset.create(tmp_path_factory.mktemp("qstore") / "store")
+    ds.add_machine_trace(
+        MACHINE, make_ras_log(400), make_job_log(80), windows=WINDOWS
+    )
+    return ds
+
+
+def shard_counter(status):
+    return (
+        get_metrics().value(
+            "store.scan.shards", table="ras", status=status
+        )
+        or 0
+    )
+
+
+def leaf_of(node):
+    while node.children():
+        node = node.children()[0]
+    return node
+
+
+def middle_window(store):
+    shards = [s for s in store.manifest.select(MACHINE, "ras") if s.rows]
+    s = shards[len(shards) // 2]
+    return float(s.time_min), float(np.nextafter(s.time_max, np.inf))
+
+
+class TestTimeRangePushdown:
+    def test_range_lands_in_scan_and_prunes_shards(self, store):
+        q0, q1 = middle_window(store)
+        lf = scan_store(store, MACHINE, "ras").filter(
+            (col("event_time") >= q0)
+            & (col("event_time") < q1)
+            & (col("severity") == "FATAL")
+        )
+        opt = lf.optimized_plan()
+        leaf = leaf_of(opt)
+        assert isinstance(leaf, p.ScanStore)
+        assert leaf.time_range == (q0, q1)
+        # the severity conjunct stays as the residual predicate; the
+        # time conjuncts do NOT get re-applied above the scan
+        assert "event_time" not in opt.describe()
+
+        pruned0 = shard_counter("pruned")
+        got = lf.collect()
+        assert shard_counter("pruned") - pruned0 >= WINDOWS - 2
+
+        full = store.scan(MACHINE, "ras")
+        t = full["event_time"]
+        want = full.filter(
+            (t >= q0) & (t < q1) & (full["severity"] == "FATAL")
+        )
+        assert frames_equal(got, want)
+        assert frames_equal(lf.collect(optimize_plan=False), want)
+
+    def test_one_sided_range_is_not_pushed(self, store):
+        q0, _q1 = middle_window(store)
+        lf = scan_store(store, MACHINE, "ras").filter(
+            col("event_time") >= q0
+        )
+        leaf = leaf_of(lf.optimized_plan())
+        assert leaf.time_range is None
+        full = store.scan(MACHINE, "ras")
+        want = full.filter(full["event_time"] >= q0)
+        assert frames_equal(lf.collect(), want)
+
+    def test_pushed_range_intersects_existing(self, store):
+        q0, q1 = middle_window(store)
+        base = p.ScanStore(store, MACHINE, "ras", time_range=(q0, np.inf))
+        from repro.query import LazyFrame
+
+        lf = LazyFrame(base).filter(
+            (col("event_time") >= 0.0) & (col("event_time") < q1)
+        )
+        leaf = leaf_of(lf.optimized_plan())
+        assert leaf.time_range == (q0, q1)
+
+
+class TestProjectionPushdown:
+    def test_select_narrows_scan_columns(self, store, np_load_spy):
+        paths, _members = np_load_spy
+        lf = (
+            scan_store(store, MACHINE, "ras")
+            .filter(col("severity") == "FATAL")
+            .select(["event_time", "errcode"])
+        )
+        leaf = leaf_of(lf.optimized_plan())
+        assert leaf.columns == ("errcode", "severity", "event_time")
+        got = lf.collect()
+        assert not any(".message." in path for path in paths)
+        full = store.scan(MACHINE, "ras")
+        want = full.filter(full["severity"] == "FATAL").select(
+            ["event_time", "errcode"]
+        )
+        assert frames_equal(got, want)
+
+    def test_combined_range_and_projection(self, store):
+        q0, q1 = middle_window(store)
+        lf = (
+            scan_store(store, MACHINE, "ras")
+            .filter(
+                (col("event_time") >= q0) & (col("event_time") < q1)
+            )
+            .select(["recid", "location"])
+        )
+        opt = lf.optimized_plan()
+        leaf = leaf_of(opt)
+        assert leaf.time_range == (q0, q1)
+        assert leaf.columns == ("recid", "location")
+        full = store.scan(MACHINE, "ras")
+        t = full["event_time"]
+        want = full.filter((t >= q0) & (t < q1)).select(
+            ["recid", "location"]
+        )
+        assert frames_equal(lf.collect(), want)
+        assert frames_equal(lf.collect(optimize_plan=False), want)
+
+    def test_groupby_over_store_scan(self, store):
+        lf = (
+            scan_store(store, MACHINE, "ras")
+            .groupby("severity")
+            .agg(n="count")
+        )
+        full = store.scan(MACHINE, "ras")
+        assert frames_equal(
+            lf.collect(), full.groupby("severity").agg(n="count")
+        )

@@ -1,0 +1,105 @@
+"""Store scan projection (`columns=`): correctness, order, and proof —
+via an ``np.load`` spy — that unrequested column files are never
+opened."""
+
+import numpy as np
+import pytest
+
+from repro.store import ShardedDataset
+from repro.store.manifest import StoreError
+from repro.stream.equivalence import frames_equal
+
+from tests.query.conftest import make_job_log, make_ras_log
+
+MACHINE = "m0"
+WINDOWS = 4
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    ds = ShardedDataset.create(tmp_path_factory.mktemp("scancols") / "store")
+    ds.add_machine_trace(
+        MACHINE, make_ras_log(240), make_job_log(50), windows=WINDOWS
+    )
+    return ds
+
+
+@pytest.fixture()
+def load_paths(monkeypatch):
+    """Every file path np.load opens during the test."""
+    paths: list[str] = []
+    real = np.load
+
+    def spy(path, *args, **kwargs):
+        paths.append(str(path))
+        return real(path, *args, **kwargs)
+
+    monkeypatch.setattr(np, "load", spy)
+    return paths
+
+
+class TestColumnsArg:
+    def test_subset_equals_full_scan_projection(self, store):
+        full = store.scan(MACHINE, "ras")
+        got = store.scan(MACHINE, "ras", columns=["severity", "recid"])
+        assert got.columns == ["severity", "recid"]
+        assert frames_equal(got, full.select(["severity", "recid"]))
+
+    def test_untouched_column_files_never_opened(self, store, load_paths):
+        store.scan(MACHINE, "ras", columns=["event_time", "severity"])
+        assert load_paths, "scan should open the requested columns"
+        for path in load_paths:
+            assert ".message." not in path
+            assert ".serialnumber." not in path
+            assert ".recid." not in path
+
+    def test_full_scan_opens_everything(self, store, load_paths):
+        store.scan(MACHINE, "ras")
+        assert any(".message." in path for path in load_paths)
+
+    def test_unknown_column_raises_store_error(self, store):
+        with pytest.raises(StoreError, match="unknown columns"):
+            store.scan(MACHINE, "ras", columns=["nope"])
+
+    def test_job_table_subset(self, store):
+        full = store.scan(MACHINE, "job")
+        got = store.scan(MACHINE, "job", columns=["user", "start_time"])
+        assert frames_equal(got, full.select(["user", "start_time"]))
+
+
+class TestColumnsWithTimeRange:
+    def _one_window(self, store, table):
+        shards = [
+            s for s in store.manifest.select(MACHINE, table) if s.rows
+        ]
+        s = shards[len(shards) // 2]
+        return s.time_min, np.nextafter(s.time_max, np.inf)
+
+    def test_time_column_loaded_for_filter_then_dropped(
+        self, store, load_paths
+    ):
+        q = self._one_window(store, "ras")
+        got = store.scan(
+            MACHINE, "ras", time_range=q, columns=["errcode"]
+        )
+        assert got.columns == ["errcode"]
+        assert got.num_rows > 0
+        # event_time was opened (the row filter needs it) but message
+        # still was not
+        assert any(".event_time." in p for p in load_paths)
+        assert not any(".message." in p for p in load_paths)
+        full = store.scan(MACHINE, "ras")
+        t = full["event_time"]
+        want = full.filter((t >= q[0]) & (t < q[1])).select(["errcode"])
+        assert frames_equal(got, want)
+
+    def test_all_pruned_returns_typed_empty_subset(self, store, load_paths):
+        got = store.scan(
+            MACHINE, "ras", time_range=(0.0, 1.0),
+            columns=["recid", "severity"],
+        )
+        assert got.columns == ["recid", "severity"]
+        assert got.num_rows == 0
+        assert got["recid"].dtype == np.int64
+        assert got["severity"].dtype == object
+        assert load_paths == []  # nothing on disk was touched

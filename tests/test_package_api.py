@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.policy",
     "repro.viz",
     "repro.simulate",
+    "repro.query",
 ]
 
 
