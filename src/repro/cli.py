@@ -1,6 +1,6 @@
 """Command-line interface: simulate traces, corrupt them, analyze logs.
 
-Nine subcommands::
+Eleven subcommands::
 
     repro-coanalysis simulate --out-dir traces/ [--scale 0.2] [--seed 7]
     repro-coanalysis corrupt --src traces/ras.log --out traces/ras_bad.log
@@ -21,6 +21,8 @@ Nine subcommands::
         [--idle-exit N] [--inject-faults SEED] [--check-equivalence]
     repro-coanalysis feed --copy ras.psv:live_ras.psv [--steps N] \
         [--interval S]
+    repro-coanalysis health --ops-dir ops/ [--max-age S] [--history]
+    repro-coanalysis dash --ops-dir ops/ [--once | --interval S] [--prom]
     repro-coanalysis trace run.jsonl [--top N] [--validate]
 
 ``simulate`` writes the (RAS, job) pair as pipe-delimited text in the
@@ -53,6 +55,16 @@ the observation verdicts — as a schema-versioned JSONL manifest (see
 :mod:`repro.obs`); ``trace`` renders such a manifest as an indented
 span tree plus a hot-stage summary, or schema-checks it with
 ``--validate``.
+
+``daemon --ops-dir`` turns on the live telemetry plane
+(:mod:`repro.obs.live`): windowed metric samples, per-cycle heartbeats
+and alert-rule transitions stream into an append-only ops log (JSONL
+plus a RAS-schema mirror that ``analyze`` ingests like any machine's
+RAS log), and an atomic ``health.json`` snapshot tracks the derived
+status. ``health`` probes that snapshot — exit 0 healthy / 1 degraded
+/ 2 unhealthy, wall-clock staleness counting as dead — and ``dash``
+renders the ops log as a refreshing ASCII dashboard or Prometheus
+text (``--prom``).
 """
 
 from __future__ import annotations
@@ -864,6 +876,21 @@ def cmd_daemon(args: argparse.Namespace) -> int:
     from repro.stream.equivalence import diff_results
     from repro.stream.source import RetryPolicy
 
+    if args.alert_rule:
+        from repro.obs.alerts import coerce_rules
+
+        try:
+            coerce_rules(args.alert_rule)
+        except ValueError as exc:
+            print(f"bad --alert-rule: {exc}", file=sys.stderr)
+            return 2
+        if not args.ops_dir:
+            print("--alert-rule requires --ops-dir", file=sys.stderr)
+            return 2
+    if args.ops_dir and args.sample_interval <= 0:
+        print("--sample-interval must be positive", file=sys.stderr)
+        return 2
+
     config = DaemonConfig(
         ras_path=args.ras,
         job_path=args.job,
@@ -881,6 +908,9 @@ def cmd_daemon(args: argparse.Namespace) -> int:
             deadline_s=args.retry_deadline,
         ),
         seed=args.seed,
+        ops_dir=args.ops_dir,
+        alert_rules=tuple(args.alert_rule or ()),
+        sample_interval_s=args.sample_interval,
     )
 
     def make_fs():
@@ -982,6 +1012,70 @@ def cmd_feed(args: argparse.Namespace) -> int:
                 fh.flush()
                 os.fsync(fh.fileno())
     return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Probe a daemon's health snapshot; the exit code IS the answer."""
+    from repro.obs.health import probe_health
+    from repro.obs.opslog import read_ops_log
+
+    ops_dir = Path(args.ops_dir)
+    if args.history:
+        jsonl = ops_dir / "ops.jsonl"
+        try:
+            records = read_ops_log(jsonl)
+        except OSError as exc:
+            print(f"cannot read ops log: {exc}", file=sys.stderr)
+            return 2
+        previous = None
+        transitions = 0
+        for record in records:
+            if record.get("type") != "heartbeat":
+                continue
+            status = record.get("status")
+            if status != previous:
+                transitions += 1
+                reasons = record.get("reasons") or ()
+                detail = f" ({'; '.join(reasons)})" if reasons else ""
+                print(f"t={record.get('t')}: {previous} -> {status}{detail}")
+                previous = status
+        if previous is None:
+            print("no heartbeats in ops log", file=sys.stderr)
+            return 2
+        print(f"{transitions} transitions, last status: {previous}")
+    verdict = probe_health(ops_dir / "health.json", max_age_s=args.max_age)
+    print(verdict.describe())
+    return verdict.exit_code
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """Render the live dashboard (or Prometheus text) from an ops dir."""
+    from repro.obs.live import MetricSample, accumulate_samples
+    from repro.obs.opslog import read_ops_log
+    from repro.viz.dash import dashboard_from_ops_dir, render_prometheus
+
+    ops_dir = Path(args.ops_dir)
+    if args.prom:
+        jsonl = ops_dir / "ops.jsonl"
+        try:
+            records = read_ops_log(jsonl)
+        except OSError as exc:
+            print(f"cannot read ops log: {exc}", file=sys.stderr)
+            return 2
+        samples = [
+            MetricSample.from_record(r)
+            for r in records
+            if r.get("type") == "sample"
+        ]
+        sys.stdout.write(render_prometheus(accumulate_samples(samples)))
+        return 0
+    while True:
+        text, _health = dashboard_from_ops_dir(ops_dir)
+        print(text)
+        if args.once:
+            return 0
+        print()
+        time.sleep(args.interval)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1229,6 +1323,25 @@ def build_parser() -> argparse.ArgumentParser:
              "assumes in-order feeds)",
     )
     p_dm.add_argument("--seed", type=int, default=0)
+    p_dm.add_argument(
+        "--ops-dir", default=None, metavar="DIR",
+        help="live telemetry plane: write metric samples, heartbeats, "
+             "alerts (ops.jsonl + RAS-schema mirror) and the health "
+             "snapshot here — `repro health`/`repro dash` read it",
+    )
+    p_dm.add_argument(
+        "--alert-rule", action="append", default=None, metavar="RULE",
+        help="declarative alert rule, repeatable (grammar: "
+             "'name: signal OP threshold [for S] [clear V] "
+             "[severity LEVEL]', e.g. "
+             "'drops: rate(stream.late_dropped) > 1 for 10 clear 0.1'); "
+             "requires --ops-dir",
+    )
+    p_dm.add_argument(
+        "--sample-interval", type=_seconds_arg("sample interval"),
+        default=5.0, metavar="S",
+        help="metric sampling window for the ops log (default 5.0)",
+    )
     _add_analysis_args(p_dm)
     _add_telemetry_args(p_dm)
     p_dm.set_defaults(func=cmd_daemon)
@@ -1252,6 +1365,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between steps (default 0.2)",
     )
     p_fd.set_defaults(func=cmd_feed)
+
+    p_he = sub.add_parser(
+        "health",
+        help="probe a daemon's health snapshot; exit 0 healthy / "
+             "1 degraded / 2 unhealthy (liveness/readiness probe)",
+    )
+    p_he.add_argument(
+        "--ops-dir", required=True, metavar="DIR",
+        help="the daemon's --ops-dir",
+    )
+    p_he.add_argument(
+        "--max-age", type=_seconds_arg("max age"), default=60.0,
+        metavar="S",
+        help="wall-clock staleness bound for a non-final snapshot "
+             "(default 60); older means the daemon is presumed dead",
+    )
+    p_he.add_argument(
+        "--history", action="store_true",
+        help="also print the status transitions recorded in the "
+             "ops log's heartbeat trail",
+    )
+    p_he.set_defaults(func=cmd_health)
+
+    p_da = sub.add_parser(
+        "dash",
+        help="live ASCII ops dashboard (rates, gauges, alerts, "
+             "heartbeats) from an ops dir; --prom emits Prometheus text",
+    )
+    p_da.add_argument(
+        "--ops-dir", required=True, metavar="DIR",
+        help="the daemon's --ops-dir",
+    )
+    p_da.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (CI and piping)",
+    )
+    p_da.add_argument(
+        "--interval", type=_seconds_arg("interval"), default=2.0,
+        metavar="S",
+        help="refresh interval in live mode (default 2.0)",
+    )
+    p_da.add_argument(
+        "--prom", action="store_true",
+        help="emit the accumulated registry as Prometheus text "
+             "exposition instead of the dashboard",
+    )
+    p_da.set_defaults(func=cmd_dash)
 
     p_tr = sub.add_parser(
         "trace", help="render or validate a telemetry run manifest"

@@ -387,11 +387,18 @@ class CoAnalysis:
         failures: list[StageFailure] = []
 
         def guarded(stage: str, fn, fallback=None):
-            """Run one optional downstream stage behind an error boundary."""
+            """Run one optional downstream stage behind an error boundary.
+
+            The stage body runs under its own span either way, so a
+            captured failure still shows up in the trace as an
+            ``status=error`` span even though the run completes.
+            """
             if not self.error_boundaries:
-                return fn()
+                with maybe_span(stage):
+                    return fn()
             try:
-                return fn()
+                with maybe_span(stage):
+                    return fn()
             except Exception as exc:  # noqa: BLE001 - the boundary's job
                 failures.append(
                     StageFailure(

@@ -21,6 +21,22 @@ Typical use::
                    observations=result.observations)
 """
 
+from repro.obs.alerts import AlertEngine, AlertEvent, AlertRule
+from repro.obs.health import (
+    HealthThresholds,
+    evaluate_health,
+    probe_health,
+    read_health,
+    write_health,
+)
+from repro.obs.live import (
+    LiveTelemetry,
+    MetricRing,
+    MetricSample,
+    MetricsSampler,
+    accumulate_samples,
+    sample_value,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     config_fingerprint,
@@ -38,6 +54,12 @@ from repro.obs.metrics import (
     MonotonicGauge,
     get_metrics,
 )
+from repro.obs.opslog import (
+    OPS_SCHEMA_VERSION,
+    OpsLog,
+    read_ops_log,
+    validate_ops_log,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -48,6 +70,24 @@ from repro.obs.trace import (
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "OPS_SCHEMA_VERSION",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "HealthThresholds",
+    "LiveTelemetry",
+    "MetricRing",
+    "MetricSample",
+    "MetricsSampler",
+    "OpsLog",
+    "accumulate_samples",
+    "evaluate_health",
+    "probe_health",
+    "read_health",
+    "read_ops_log",
+    "sample_value",
+    "validate_ops_log",
+    "write_health",
     "Span",
     "Tracer",
     "current_span_id",

@@ -1,0 +1,309 @@
+"""Declarative alert rules with sustained-duration + hysteresis.
+
+One line of text per rule::
+
+    name: signal OP threshold [for SECONDS] [clear VALUE] [severity LEVEL]
+
+where *signal* is a metric name with optional ``{k=v,...}`` label
+selector, optionally wrapped in ``rate(...)`` to alert on a per-second
+rate instead of a window total or gauge level; *OP* is one of
+``> >= < <=``; ``for`` demands the breach persist that many
+sampler-clock seconds before the rule fires; ``clear`` sets the
+hysteresis threshold the value must re-cross (on the safe side) before
+a firing rule clears; ``severity`` is a RAS severity (default WARN) —
+it flows straight into the ops log's RAS mirror. Examples::
+
+    late-drops:   rate(stream.late_dropped) > 0.5 for 10 clear 0.1
+    feed-down:    daemon.feed.degraded >= 1 for 30 severity ERROR
+    deep-reorder: stream.reorder.buffered{table=ras} > 10000
+
+The :class:`AlertEngine` runs every rule against each new
+:class:`~repro.obs.live.MetricSample` as a two-state machine with
+**asymmetric thresholds**: an ``ok`` rule must breach *threshold*
+continuously for ``for`` seconds to fire; a ``firing`` rule must sit on
+the safe side of *clear* continuously for ``for`` seconds to clear.
+Values **between** ``clear`` and ``threshold`` are the hysteresis band:
+they neither fire nor clear nor reset either timer, so a signal
+oscillating around one threshold cannot flap the alert — that is the
+acceptance property the fuzz test drives.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.obs.live import MetricSample, sample_value
+
+#: the RAS severity vocabulary (repro.logs.ras.SEVERITIES, inlined here
+#: because importing repro.logs from inside the obs package init would
+#: close an import cycle through repro.logs.quarantine → obs.metrics)
+_SEVERITIES = ("DEBUG", "TRACE", "INFO", "WARN", "ERROR", "FATAL")
+
+__all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "RuleState",
+    "coerce_rules",
+]
+
+_RULE_RE = re.compile(
+    r"""^\s*
+    (?P<name>[A-Za-z0-9_.\-]+)\s*:\s*
+    (?P<rate>rate\()?\s*
+    (?P<metric>[A-Za-z0-9_.\-]+)
+    (?:\{(?P<labels>[^}]*)\})?
+    \s*(?(rate)\))\s*
+    (?P<op>>=|<=|>|<)\s*
+    (?P<threshold>-?[0-9]+(?:\.[0-9]+)?)
+    (?:\s+for\s+(?P<for_s>[0-9]+(?:\.[0-9]+)?))?
+    (?:\s+clear\s+(?P<clear>-?[0-9]+(?:\.[0-9]+)?))?
+    (?:\s+severity\s+(?P<severity>[A-Za-z]+))?
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One parsed rule (see the module docstring for the grammar)."""
+
+    name: str
+    metric: str
+    op: str                      # ">", ">=", "<", "<="
+    threshold: float
+    labels: tuple = ()           # sorted (key, value) pairs
+    rate: bool = False
+    for_s: float = 0.0
+    clear: float | None = None   # None → clear at the fire threshold
+    severity: str = "WARN"
+
+    @classmethod
+    def parse(cls, text: str) -> "AlertRule":
+        m = _RULE_RE.match(text)
+        if m is None:
+            raise ValueError(f"unparseable alert rule: {text!r}")
+        labels = []
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                if "=" not in part:
+                    raise ValueError(
+                        f"bad label selector {part!r} in rule {text!r}"
+                    )
+                k, v = part.split("=", 1)
+                labels.append((k.strip(), v.strip()))
+        severity = (m.group("severity") or "WARN").upper()
+        if severity not in _SEVERITIES:
+            raise ValueError(
+                f"unknown severity {severity!r} in rule {text!r} "
+                f"(one of {', '.join(_SEVERITIES)})"
+            )
+        threshold = float(m.group("threshold"))
+        clear = m.group("clear")
+        clear_v = float(clear) if clear is not None else None
+        op = m.group("op")
+        if clear_v is not None:
+            # the clear threshold must sit on the safe side of the fire
+            # threshold, otherwise the band is inverted and the machine
+            # could fire and clear on the same value
+            if op.startswith(">") and clear_v > threshold:
+                raise ValueError(
+                    f"clear {clear_v} above threshold {threshold} "
+                    f"for {op!r} rule {text!r}"
+                )
+            if op.startswith("<") and clear_v < threshold:
+                raise ValueError(
+                    f"clear {clear_v} below threshold {threshold} "
+                    f"for {op!r} rule {text!r}"
+                )
+        return cls(
+            name=m.group("name"),
+            metric=m.group("metric"),
+            op=op,
+            threshold=threshold,
+            labels=tuple(sorted(labels)),
+            rate=m.group("rate") is not None,
+            for_s=float(m.group("for_s") or 0.0),
+            clear=clear_v,
+            severity=severity,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def signal(self) -> str:
+        """The signal as rule-grammar text (for rendering)."""
+        sel = (
+            "{" + ",".join(f"{k}={v}" for k, v in self.labels) + "}"
+            if self.labels
+            else ""
+        )
+        base = f"{self.metric}{sel}"
+        return f"rate({base})" if self.rate else base
+
+    def value_from(self, sample: MetricSample) -> float | None:
+        return sample_value(
+            sample, self.metric, rate=self.rate, **dict(self.labels)
+        )
+
+    def breaches(self, value: float) -> bool:
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "<":
+            return value < self.threshold
+        return value <= self.threshold
+
+    def is_safe(self, value: float) -> bool:
+        """Strictly on the clear side of the hysteresis band."""
+        clear = self.threshold if self.clear is None else self.clear
+        if self.op.startswith(">"):
+            return value < clear if self.op == ">=" else value <= clear
+        return value > clear if self.op == "<=" else value >= clear
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.signal} {self.op} {self.threshold:g}"]
+        if self.for_s:
+            parts.append(f"for {self.for_s:g}")
+        if self.clear is not None:
+            parts.append(f"clear {self.clear:g}")
+        if self.severity != "WARN":
+            parts.append(f"severity {self.severity}")
+        return " ".join(parts)
+
+
+def coerce_rules(rules) -> list[AlertRule]:
+    """Parse any mix of rule strings and :class:`AlertRule` objects."""
+    out = []
+    for rule in rules or ():
+        out.append(rule if isinstance(rule, AlertRule) else AlertRule.parse(rule))
+    names = [r.name for r in out]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise ValueError(f"duplicate alert rule names: {sorted(dupes)}")
+    return out
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One state transition of one rule (an ops-log record)."""
+
+    rule: str
+    kind: str          # "firing" | "cleared"
+    t: float
+    value: float | None
+    threshold: float
+    severity: str
+    signal: str
+
+    def as_record(self) -> dict:
+        return {
+            "type": "alert",
+            "rule": self.rule,
+            "kind": self.kind,
+            "t": self.t,
+            "value": self.value,
+            "threshold": self.threshold,
+            "severity": self.severity,
+            "signal": self.signal,
+        }
+
+
+@dataclass
+class RuleState:
+    """Where one rule's hysteresis machine currently sits."""
+
+    rule: AlertRule
+    firing: bool = False
+    #: start of the current continuous breach (ok state) / safe
+    #: stretch (firing state); None while the condition isn't holding
+    pending_since: float | None = None
+    #: when the rule last transitioned (fired or cleared)
+    since: float | None = None
+    last_value: float | None = field(default=None)
+
+    def as_record(self) -> dict:
+        return {
+            "rule": self.rule.describe(),
+            "severity": self.rule.severity,
+            "firing": self.firing,
+            "since": self.since,
+            "value": self.last_value,
+        }
+
+    def observe(self, value: float | None, t: float) -> AlertEvent | None:
+        """Advance the machine one sample; return the transition if any.
+
+        ``None`` values (a gauge that has never been set) are treated
+        as in-band: no transition, timers held — absence of a reading
+        is not evidence in either direction.
+        """
+        self.last_value = value
+        if value is None:
+            return None
+        rule = self.rule
+        if not self.firing:
+            if rule.is_safe(value):
+                self.pending_since = None
+            elif rule.breaches(value):
+                if self.pending_since is None:
+                    self.pending_since = t
+                if t - self.pending_since >= rule.for_s:
+                    self.firing = True
+                    self.since = t
+                    self.pending_since = None
+                    return AlertEvent(
+                        rule=rule.name, kind="firing", t=t, value=value,
+                        threshold=rule.threshold, severity=rule.severity,
+                        signal=rule.signal,
+                    )
+            # in-band: hold the breach timer — dipping into the band
+            # must not restart the sustain count (anti-flap)
+        else:
+            if rule.breaches(value):
+                self.pending_since = None
+            elif rule.is_safe(value):
+                if self.pending_since is None:
+                    self.pending_since = t
+                if t - self.pending_since >= rule.for_s:
+                    self.firing = False
+                    self.since = t
+                    self.pending_since = None
+                    return AlertEvent(
+                        rule=rule.name, kind="cleared", t=t, value=value,
+                        threshold=rule.threshold, severity="INFO",
+                        signal=rule.signal,
+                    )
+            # in-band while firing: stay firing, hold the safe timer
+        return None
+
+
+class AlertEngine:
+    """Evaluate a rule set against each new sample; track firing set."""
+
+    def __init__(self, rules):
+        self.rules = coerce_rules(rules)
+        self._states = {r.name: RuleState(rule=r) for r in self.rules}
+
+    def evaluate(self, sample: MetricSample) -> list[AlertEvent]:
+        """Advance every rule with *sample*; return the transitions."""
+        events = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            event = state.observe(rule.value_from(sample), sample.t)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def firing(self) -> dict[str, RuleState]:
+        """Currently-firing rules, by name."""
+        return {
+            name: state
+            for name, state in self._states.items()
+            if state.firing
+        }
+
+    def states(self) -> dict[str, RuleState]:
+        return dict(self._states)

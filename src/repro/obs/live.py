@@ -1,0 +1,375 @@
+"""Continuous telemetry: periodic metric samples over a ring buffer.
+
+The run manifest (:mod:`repro.obs.manifest`) is a *post-mortem* — one
+snapshot at exit. A long-running daemon needs the same registry turned
+into a **time series while it runs**: :class:`MetricsSampler`
+periodically captures the registry's activity since the previous
+sample (one atomic :meth:`~repro.obs.metrics.MetricsRegistry.collect`,
+so windows tile the timeline with nothing lost or double-counted),
+keeps the recent window in an in-memory :class:`MetricRing`, and
+persists every sample to the append-only ops log
+(:mod:`repro.obs.opslog`).
+
+Samples are **deltas**: a counter record in a sample carries the
+increments that happened inside that sample's window, which divided by
+``window_s`` is the rate the dashboard plots. Gauges are levels and
+carry their current reading. :func:`sample_value` extracts one signal
+from a sample (the alert engine's accessor);
+:func:`accumulate_samples` folds a sample series back into cumulative
+totals (the Prometheus exposition's accessor).
+
+:class:`LiveTelemetry` bundles the sampler with the ops log, the alert
+engine (:mod:`repro.obs.alerts`) and the atomic health snapshot
+(:mod:`repro.obs.health`) into the one object the daemon drives once
+per cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+__all__ = [
+    "LiveTelemetry",
+    "MetricRing",
+    "MetricSample",
+    "MetricsSampler",
+    "accumulate_samples",
+    "sample_value",
+]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One sampling window: delta records plus when/how long."""
+
+    #: sampler-clock seconds at capture (wall for a standalone sampler,
+    #: the daemon's injected clock inside a daemon)
+    t: float
+    #: seconds since the previous sample (the rate denominator)
+    window_s: float
+    #: ``snapshot(since=)`` records for activity inside the window
+    records: tuple
+
+    def as_record(self) -> dict:
+        """The ops-log line for this sample (JSON-safe)."""
+        return {
+            "type": "sample",
+            "t": self.t,
+            "window_s": self.window_s,
+            "metrics": list(self.records),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "MetricSample":
+        return cls(
+            t=float(record["t"]),
+            window_s=float(record["window_s"]),
+            records=tuple(record.get("metrics", ())),
+        )
+
+
+def _labels_match(record: dict, labels: dict) -> bool:
+    have = record.get("labels") or {}
+    return all(have.get(k) == v for k, v in labels.items())
+
+
+def sample_value(
+    sample: MetricSample,
+    name: str,
+    kind: str | None = None,
+    rate: bool = False,
+    **labels,
+) -> float | None:
+    """One signal out of one sample, or ``None`` when unavailable.
+
+    Records match on *name*, label subset and (when given) *kind*;
+    multiple matches sum (e.g. ``stream.late_dropped`` over both
+    tables). Counters and histograms report their window delta —
+    with ``rate=True`` divided by ``window_s`` — and an *absent*
+    counter reads as ``0.0`` (no activity is data). Gauges report
+    their level; an absent or never-set gauge is ``None`` (unknown
+    is not zero).
+    """
+    found_kind = None
+    total = 0.0
+    hits = 0
+    for record in sample.records:
+        if record.get("name") != name:
+            continue
+        if kind is not None and record.get("kind") != kind:
+            continue
+        if not _labels_match(record, labels):
+            continue
+        found_kind = record.get("kind")
+        value = (
+            record.get("count")
+            if found_kind == "histogram"
+            else record.get("value")
+        )
+        if value is None:
+            continue
+        total += float(value)
+        hits += 1
+    if hits == 0:
+        if kind in (None, "gauge", "monotonic_gauge") and found_kind is None:
+            # never registered: only counter-ish kinds default to zero
+            if kind in ("counter", "histogram"):
+                return 0.0
+            return None
+        return 0.0 if found_kind is None else None
+    if rate:
+        if found_kind in ("gauge", "monotonic_gauge"):
+            return total  # levels have no meaningful per-second rate
+        return total / sample.window_s if sample.window_s > 0 else 0.0
+    return total
+
+
+def accumulate_samples(samples) -> list[dict]:
+    """Fold a sample series into cumulative records (export view).
+
+    Counter values and histogram count/sum accumulate across samples;
+    gauges keep the latest reading (monotonic gauges the latest
+    non-null — a later sample's ``null`` means "not set since", not a
+    reset). Record identity is ``(kind, name, sorted labels)``; output
+    is sorted by that identity, like a registry snapshot.
+    """
+    out: dict[tuple, dict] = {}
+    for sample in samples:
+        for record in sample.records:
+            key = (
+                record.get("kind"),
+                record.get("name"),
+                tuple(sorted((record.get("labels") or {}).items())),
+            )
+            kind = record.get("kind")
+            prev = out.get(key)
+            if prev is None:
+                out[key] = dict(record)
+                continue
+            if kind == "counter":
+                prev["value"] = prev.get("value", 0) + record.get("value", 0)
+            elif kind == "histogram":
+                prev["count"] = prev.get("count", 0) + record.get("count", 0)
+                prev["sum"] = (prev.get("sum") or 0.0) + (
+                    record.get("sum") or 0.0
+                )
+                for side, pick in (("min", min), ("max", max)):
+                    a, b = prev.get(side), record.get(side)
+                    if b is not None:
+                        prev[side] = pick(a, b) if a is not None else b
+            else:  # gauges: last reading wins (monotonic: last non-null)
+                if record.get("value") is not None or kind == "gauge":
+                    prev["value"] = record.get("value")
+    return [out[key] for key in sorted(out, key=repr)]
+
+
+class MetricRing:
+    """Fixed-capacity window of recent samples (thread-safe)."""
+
+    def __init__(self, capacity: int = 240):
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._samples: deque[MetricSample] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def append(self, sample: MetricSample) -> None:
+        with self._lock:
+            self._samples.append(sample)
+
+    def samples(self) -> tuple[MetricSample, ...]:
+        with self._lock:
+            return tuple(self._samples)
+
+    def latest(self) -> MetricSample | None:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class MetricsSampler:
+    """Periodic ``collect()`` of a registry into a ring + ops log.
+
+    Drive it either **cooperatively** — call :meth:`maybe_sample` from
+    an existing loop (the daemon does this once per cycle, so a fake
+    clock keeps tests deterministic) — or **autonomously** via
+    :meth:`start`, which runs a daemon thread sampling every
+    ``interval_s``. Both paths go through the same :meth:`sample`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        interval_s: float = 5.0,
+        capacity: int = 240,
+        ops_log=None,
+        clock=time.time,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.registry = registry if registry is not None else get_metrics()
+        self.interval_s = float(interval_s)
+        self.ring = MetricRing(capacity)
+        self.ops_log = ops_log
+        self.clock = clock
+        self._mark = self.registry.mark()
+        self._last_t = float(clock())
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def maybe_sample(self, now: float | None = None) -> MetricSample | None:
+        """Sample if at least ``interval_s`` passed since the last one."""
+        now = float(self.clock()) if now is None else float(now)
+        if now - self._last_t < self.interval_s:
+            return None
+        return self.sample(now)
+
+    def sample(self, now: float | None = None) -> MetricSample:
+        """Capture one window unconditionally and persist it."""
+        now = float(self.clock()) if now is None else float(now)
+        records, self._mark = self.registry.collect(since=self._mark)
+        sample = MetricSample(
+            t=now,
+            window_s=max(now - self._last_t, 0.0),
+            records=tuple(records),
+        )
+        self._last_t = now
+        self.ring.append(sample)
+        if self.ops_log is not None:
+            self.ops_log.write_sample(sample)
+        return sample
+
+    # -- background mode ------------------------------------------------
+
+    def start(self) -> None:
+        """Sample every ``interval_s`` on a daemon thread until stop()."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval_s):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-metrics-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the background thread (and capture the tail window)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        if final_sample:
+            self.sample()
+
+    def __enter__(self) -> "MetricsSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class LiveTelemetry:
+    """The daemon's whole live plane behind one per-cycle call.
+
+    Owns the sampler, the ops log, the alert engine and the health
+    snapshot path. :meth:`record_cycle` is the only method the daemon
+    loop calls: it writes the heartbeat, samples the registry when the
+    interval is due, evaluates the alert rules over the new sample, and
+    atomically replaces the health file. Everything it writes lives
+    under one *ops directory*::
+
+        ops/
+          ops.jsonl      # schema-versioned samples + heartbeats + alerts
+          ops_ras.psv    # RAS-schema mirror (heartbeats + alerts) —
+                         #   `repro analyze` ingests the system's own
+                         #   operational events like any machine's RAS log
+          health.json    # atomic snapshot `repro health` probes
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        rules=(),
+        interval_s: float = 5.0,
+        capacity: int = 240,
+        registry: MetricsRegistry | None = None,
+        machine: str = "live",
+        clock=time.time,
+    ):
+        from repro.obs.alerts import AlertEngine, coerce_rules
+        from repro.obs.opslog import OpsLog
+
+        self.directory = Path(directory)
+        self.ops_log = OpsLog(self.directory, machine=machine)
+        self.sampler = MetricsSampler(
+            registry=registry,
+            interval_s=interval_s,
+            capacity=capacity,
+            ops_log=self.ops_log,
+            clock=clock,
+        )
+        self.engine = AlertEngine(coerce_rules(rules))
+        self.machine = machine
+        self.clock = clock
+        self.last_status = "healthy"
+
+    @property
+    def health_path(self) -> Path:
+        return self.directory / "health.json"
+
+    def record_cycle(
+        self, heartbeat: dict, now: float | None = None, final: bool = False
+    ) -> str:
+        """One cycle's bookkeeping; returns the derived health status.
+
+        *heartbeat* carries the loop's own vitals (watermark lag,
+        reorder depth, feed state, checkpoint age, backlog — see
+        :func:`repro.obs.health.evaluate_health`). The status the
+        health file reports folds those vitals together with the alert
+        engine's firing set.
+        """
+        from repro.obs.health import evaluate_health, write_health
+
+        now = float(self.clock()) if now is None else float(now)
+        sample = self.sampler.maybe_sample(now)
+        if final and sample is None:
+            sample = self.sampler.sample(now)  # flush the tail window
+        if sample is not None:
+            for event in self.engine.evaluate(sample):
+                self.ops_log.write_alert(event)
+        firing = self.engine.firing()
+        status, reasons = evaluate_health(heartbeat, firing=firing)
+        self.ops_log.write_heartbeat(
+            dict(heartbeat), t=now, status=status, reasons=reasons
+        )
+        write_health(
+            self.health_path,
+            {
+                "machine": self.machine,
+                "t": now,
+                "status": status,
+                "reasons": reasons,
+                "heartbeat": dict(heartbeat),
+                "firing": {
+                    name: state.as_record() for name, state in firing.items()
+                },
+                "final": bool(final),
+            },
+        )
+        self.last_status = status
+        return status

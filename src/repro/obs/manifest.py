@@ -222,6 +222,11 @@ def validate_manifest(source) -> list[str]:
                 problems.append(
                     f"span {span['id']} has bad {key}: {value!r}"
                 )
+        status = span.get("status", "ok")
+        if status not in ("ok", "error"):
+            problems.append(
+                f"span {span['id']} has bad status {status!r}"
+            )
     for span in spans:
         parent = span.get("parent")
         if parent is not None and parent not in ids:

@@ -59,6 +59,10 @@ class Counter:
         with self._lock:
             return self.value
 
+    def _mark_unlocked(self):
+        """Baseline without taking the lock (caller already holds it)."""
+        return self.value
+
     def as_record(self, base=None) -> dict:
         return {
             "type": "metric",
@@ -93,6 +97,9 @@ class Gauge:
 
     def mark_state(self):
         """Gauges are levels, not totals: nothing to rebase."""
+        return None
+
+    def _mark_unlocked(self):
         return None
 
     def as_record(self, base=None) -> dict:
@@ -181,9 +188,12 @@ class Histogram:
         min/max window. Marks are run boundaries, not re-entrant —
         overlapping marked runs would share one window."""
         with self._lock:
-            self._win_min = float("inf")
-            self._win_max = float("-inf")
-            return (self.count, self.sum)
+            return self._mark_unlocked()
+
+    def _mark_unlocked(self):
+        self._win_min = float("inf")
+        self._win_max = float("-inf")
+        return (self.count, self.sum)
 
     def as_record(self, base=None) -> dict:
         count0, sum0 = base if base is not None else (0, 0.0)
@@ -266,6 +276,29 @@ class MetricsRegistry:
             inst.as_record(None if since is None else since.get(key))
             for key, inst in sorted(instruments, key=lambda kv: kv[0])
         ]
+
+    def collect(self, since: dict | None = None) -> tuple[list[dict], dict]:
+        """Atomically ``snapshot(since=)`` **and** re-``mark()``.
+
+        The live sampler's primitive: holding the registry lock for
+        both steps makes consecutive windows tile the timeline — an
+        increment that lands between two samples is counted in exactly
+        one of them, never lost or double-booked (``snapshot`` followed
+        by ``mark`` as two calls cannot promise that). Returns
+        ``(records, mark)`` where *records* are the delta records since
+        *since* and *mark* is the fresh baseline taken at the same
+        instant.
+        """
+        with self._lock:
+            instruments = sorted(
+                self._instruments.items(), key=lambda kv: kv[0]
+            )
+            records = [
+                inst.as_record(None if since is None else since.get(key))
+                for key, inst in instruments
+            ]
+            mark = {key: inst._mark_unlocked() for key, inst in instruments}
+        return records, mark
 
     def value(self, name: str, kind: str = "counter", **labels) -> object:
         """The current value of one instrument, or ``None`` if absent.

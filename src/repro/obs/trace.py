@@ -71,6 +71,9 @@ class Span:
     cpu_s: float = 0.0
     rows: int = -1
     note: str = ""
+    #: "ok" | "error" — error means the body raised through the span;
+    #: the exception type lands in ``attrs["error.type"]``
+    status: str = "ok"
     attrs: dict = field(default_factory=dict)
 
     def as_record(self) -> dict:
@@ -85,6 +88,7 @@ class Span:
             "cpu_s": round(self.cpu_s, 6),
             "rows": self.rows,
             "note": self.note,
+            "status": self.status,
             "attrs": _json_safe(self.attrs),
         }
 
@@ -156,6 +160,12 @@ class Tracer:
         c0 = time.thread_time()
         try:
             yield sp
+        except BaseException as exc:
+            # the stage failed through this span: record it, then let
+            # the error boundary (or the caller) decide what to do
+            sp.status = "error"
+            sp.attrs.setdefault("error.type", type(exc).__name__)
+            raise
         finally:
             sp.wall_s = time.perf_counter() - t0
             sp.cpu_s = time.thread_time() - c0
@@ -173,6 +183,7 @@ class Tracer:
         rows: int = -1,
         note: str = "",
         parent_id: "int | None" = _UNSET,  # type: ignore[assignment]
+        status: str = "ok",
         **attrs,
     ) -> Span:
         """Record a span measured elsewhere (e.g. in a fork worker).
@@ -191,6 +202,7 @@ class Tracer:
             cpu_s=cpu_s,
             rows=rows,
             note=note,
+            status=status,
             attrs=dict(attrs),
         )
         with self._lock:

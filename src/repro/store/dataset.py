@@ -147,6 +147,9 @@ class ShardedDataset:
                 sp.rows = sum(s.rows for s in new_shards)
         self.manifest.shards.extend(new_shards)
         write_store_manifest(self.root, self.manifest)
+        get_metrics().gauge("store.shards.total").set(
+            len(self.manifest.shards)
+        )
         return new_shards
 
     def append_machine_window(
@@ -202,6 +205,9 @@ class ShardedDataset:
                 sp.rows = sum(s.rows for s in new_shards)
         self.manifest.shards.extend(new_shards)
         write_store_manifest(self.root, self.manifest)
+        get_metrics().gauge("store.shards.total").set(
+            len(self.manifest.shards)
+        )
         return new_shards
 
     def _write_shard(
@@ -211,9 +217,9 @@ class ShardedDataset:
         shard_dir = self.root / rel
         columns = encode_frame(frame, shard_dir)
         t = frame[TIME_COLUMN[table]]
-        get_metrics().counter(
-            "store.shards.written", table=table
-        ).inc()
+        metrics = get_metrics()
+        metrics.counter("store.shards.written", table=table).inc()
+        metrics.counter("store.append.rows", table=table).inc(frame.num_rows)
         return ShardInfo(
             machine=machine,
             table=table,

@@ -162,6 +162,13 @@ class DaemonConfig:
     policy: str = "quarantine"
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
+    #: live telemetry plane (repro.obs.live): ops directory for the
+    #: sampler/heartbeat/alert logs + health snapshot; None = off
+    ops_dir: str | None = None
+    #: alert-rule lines (repro.obs.alerts grammar)
+    alert_rules: tuple = ()
+    #: metric sampling window (daemon-clock seconds)
+    sample_interval_s: float = 5.0
 
 
 @dataclass(frozen=True)
@@ -235,6 +242,18 @@ class DaemonLoop:
                 self.store = ShardedDataset.open(root)
             else:
                 self.store = ShardedDataset.create(root)
+        self.telemetry = None
+        if config.ops_dir:
+            from repro.obs.live import LiveTelemetry
+
+            self.telemetry = LiveTelemetry(
+                config.ops_dir,
+                rules=config.alert_rules,
+                interval_s=config.sample_interval_s,
+                machine=config.machine,
+                clock=clock,
+            )
+        self._late_seen = 0  # cumulative late-drops at the last heartbeat
         self._backlog: dict[str, list[Frame]] = {t: [] for t in _TABLES}
         # per-feed newest key seen; the producer watermark is their MIN,
         # so the slowest feed gates release and a lagging feed's records
@@ -327,6 +346,7 @@ class DaemonLoop:
                 self.sleep(self.config.poll_interval_s)
         self.checkpoint()
         self.flush_store()
+        self._heartbeat(False, 0, final=True)
         return DaemonSummary(
             cycles=self.cycles,
             increments=self.increments,
@@ -354,6 +374,7 @@ class DaemonLoop:
             if not degraded:
                 metrics.counter("daemon.increments", status="idle").inc()
             self._observe_gauges(chunks)
+            self._heartbeat(degraded, rows)
             return
         self._idle_streak = 0
         for table, chunk in chunks.items():
@@ -393,6 +414,7 @@ class DaemonLoop:
             self.flush_store()
             self.crash_hook("post_flush", self.cycles)
         self._observe_gauges(chunks)
+        self._heartbeat(degraded, rows)
 
     # -- persistence ----------------------------------------------------
 
@@ -478,7 +500,48 @@ class DaemonLoop:
             self.released_rows += len(ras) + len(job)
             self.checkpoint()
             self.flush_store()
+            self._heartbeat(False, 0, final=True)
         return self.bls.result()
+
+    def _heartbeat(
+        self, degraded: bool, arrived_rows: int, final: bool = False
+    ) -> None:
+        """Feed this cycle's vitals to the live telemetry plane.
+
+        Runs after checkpoint/flush so the ages and backlogs it reports
+        are this cycle's *surviving* debt, not its peak. The telemetry
+        object derives a health status (vitals + firing alerts), writes
+        the heartbeat + any alert transitions to the ops log, and
+        atomically replaces the health snapshot.
+        """
+        if self.telemetry is None:
+            return
+        late_total = sum(self.bls.late_dropped.values())
+        late_now = late_total - self._late_seen
+        self._late_seen = late_total
+        lag = self.bls.producer_watermark - self.bls.effective_watermark
+        heartbeat = {
+            "cycle": self.cycles,
+            "feed_degraded": bool(degraded),
+            "watermark_lag_s": lag if np.isfinite(lag) else None,
+            "reorder_depth": self.bls.buffered_rows,
+            "late_drop_rate": (
+                late_now / arrived_rows if arrived_rows else 0.0
+            ),
+            "checkpoint_age_s": (
+                max(self.clock() - self._last_checkpoint_at, 0.0)
+                if self._last_checkpoint_at is not None
+                else None
+            ),
+            "store_backlog": sum(
+                f.num_rows
+                for frames in self._backlog.values()
+                for f in frames
+            ),
+        }
+        self.telemetry.record_cycle(
+            heartbeat, now=self.clock(), final=final
+        )
 
     def _observe_gauges(self, chunks) -> None:
         m = get_metrics()

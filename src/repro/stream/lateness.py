@@ -283,6 +283,11 @@ class BoundedLatenessStream:
         released_job = (
             JobLog(job_frame) if job_frame.num_rows else empty_job_log()
         )
+        for table, frame in (("ras", ras_frame), ("job", job_frame)):
+            if frame.num_rows:
+                get_metrics().counter(
+                    "stream.released_rows", table=table
+                ).inc(frame.num_rows)
         update = self.inner.ingest(released_ras, released_job, w_eff)
         return released_ras, released_job, update
 

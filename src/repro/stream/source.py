@@ -604,9 +604,16 @@ class Feed:
             )
         log = self.parser.parse(result.lines)
         status = FEED_OK if len(log) else FEED_IDLE
-        return FeedChunk(
+        chunk = FeedChunk(
             table=self.table, log=log, status=status, events=result.events
         )
+        if len(log):
+            # per-feed progress for the live telemetry plane: monotone,
+            # so replayed polls after a resume can't walk it backwards
+            get_metrics().monotonic_gauge(
+                "stream.feed.max_key", table=self.table
+            ).set(float(chunk.key_times.max()))
+        return chunk
 
     # -- durable state --------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.viz.ascii import (
     series_table,
     sparkline,
 )
+from repro.viz.dash import render_dashboard, render_prometheus
 from repro.viz.fleet import render_fleet_report
 from repro.viz.trace import (
     hot_stages,
@@ -28,7 +29,9 @@ __all__ = [
     "cdf_plot",
     "histogram",
     "series_table",
+    "render_dashboard",
     "render_gauges",
+    "render_prometheus",
     "render_trace",
     "render_span_tree",
     "render_fleet_report",

@@ -1,0 +1,256 @@
+"""The live ops dashboard + Prometheus-style text exposition.
+
+``repro dash`` renders this from an ops directory: health banner,
+counter rates as sparklines over the sample ring, current gauge
+levels, the alert board, and the recent heartbeat trail — all pure
+text, sized for a terminal, no dependencies. ``repro dash --prom``
+instead emits the accumulated registry in the Prometheus text format
+(``repro_`` namespace) for anything that scrapes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.live import MetricSample, accumulate_samples
+from repro.viz.ascii import sparkline
+
+__all__ = ["render_dashboard", "render_prometheus"]
+
+_STATUS_BADGE = {
+    "healthy": "[ OK ]",
+    "degraded": "[WARN]",
+    "unhealthy": "[FAIL]",
+}
+
+
+def _section(title: str) -> str:
+    return f"-- {title} " + "-" * max(1, 58 - len(title))
+
+
+def _series_key(record: dict) -> str:
+    labels = record.get("labels") or {}
+    if not labels:
+        return record["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{record['name']}{{{inner}}}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "unset"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_dashboard(
+    samples,
+    health: dict | None = None,
+    heartbeats=(),
+    alerts=(),
+    max_series: int = 12,
+    spark_width: int = 32,
+) -> str:
+    """One terminal frame of the ops state.
+
+    *samples* is the recent :class:`~repro.obs.live.MetricSample`
+    window (ring or ops-log tail); *health* the current health
+    snapshot; *heartbeats* recent heartbeat records (newest last);
+    *alerts* the alert-transition records to show on the board.
+    """
+    samples = [
+        s if isinstance(s, MetricSample) else MetricSample.from_record(s)
+        for s in samples
+    ]
+    lines: list[str] = []
+
+    # -- health banner --------------------------------------------------
+    if health is not None:
+        status = health.get("status", "?")
+        badge = _STATUS_BADGE.get(status, "[ ?? ]")
+        final = "  (final)" if health.get("final") else ""
+        lines.append(
+            f"{badge} {health.get('machine', '?')} — {status}{final}"
+            f"  t={_fmt(health.get('t'))}"
+        )
+        for reason in health.get("reasons") or ():
+            lines.append(f"       - {reason}")
+    else:
+        lines.append("[ ?? ] no health snapshot")
+
+    # -- counter rates over the window ----------------------------------
+    rate_series: dict[str, list[float]] = {}
+    gauge_latest: dict[str, float | None] = {}
+    for sample in samples:
+        for record in sample.records:
+            key = _series_key(record)
+            kind = record.get("kind")
+            if kind == "counter" or kind == "histogram":
+                value = (
+                    record.get("count")
+                    if kind == "histogram"
+                    else record.get("value")
+                )
+                per_s = (
+                    float(value or 0) / sample.window_s
+                    if sample.window_s > 0
+                    else 0.0
+                )
+                rate_series.setdefault(key, []).append(per_s)
+            else:
+                gauge_latest[key] = record.get("value")
+    lines.append(_section(f"rates over {len(samples)} samples (events/s)"))
+    if rate_series:
+        busiest = sorted(
+            rate_series.items(), key=lambda kv: -sum(kv[1])
+        )[:max_series]
+        width = max(24, *(len(k) for k, _ in busiest))
+        for key, series in sorted(busiest):
+            tail = series[-spark_width:]
+            lines.append(
+                f"{key:<{width}} {sparkline(tail):<{spark_width}}"
+                f" {_fmt(tail[-1])}/s"
+            )
+        dropped = len(rate_series) - len(busiest)
+        if dropped > 0:
+            lines.append(f"  (+{dropped} quieter series not shown)")
+    else:
+        lines.append("  (no samples)")
+
+    # -- gauge levels ---------------------------------------------------
+    lines.append(_section("gauges (latest levels)"))
+    if gauge_latest:
+        width = max(24, *(len(k) for k in gauge_latest))
+        for key in sorted(gauge_latest):
+            lines.append(f"{key:<{width}} {_fmt(gauge_latest[key]):>16}")
+    else:
+        lines.append("  (no gauges)")
+
+    # -- alert board ----------------------------------------------------
+    lines.append(_section("alerts"))
+    firing = dict((health or {}).get("firing") or {})
+    for name in sorted(firing):
+        state = firing[name]
+        lines.append(
+            f"  FIRING {name} [{state.get('severity', 'WARN')}]"
+            f" value={_fmt(state.get('value'))}"
+            f" since t={_fmt(state.get('since'))}"
+        )
+    recent = list(alerts)[-8:]
+    for record in recent:
+        lines.append(
+            f"  {record.get('kind', '?'):>7} {record.get('rule', '?')}"
+            f" at t={_fmt(record.get('t'))}"
+            f" value={_fmt(record.get('value'))}"
+        )
+    if not firing and not recent:
+        lines.append("  (quiet)")
+
+    # -- heartbeat trail ------------------------------------------------
+    trail = list(heartbeats)[-10:]
+    if trail:
+        lines.append(_section("heartbeats (newest last)"))
+        for record in trail:
+            hb = record.get("heartbeat") or {}
+            badge = _STATUS_BADGE.get(record.get("status"), "[ ?? ]")
+            lines.append(
+                f"  {badge} t={_fmt(record.get('t'))}"
+                f" cycle={hb.get('cycle', '?')}"
+                f" lag={_fmt(hb.get('watermark_lag_s'))}"
+                f" depth={_fmt(hb.get('reorder_depth'))}"
+                f" backlog={_fmt(hb.get('store_backlog'))}"
+            )
+    return "\n".join(lines)
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}{suffix}"
+
+
+def _prom_labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in sorted((labels or {}).items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(records) -> str:
+    """Prometheus text exposition of cumulative metric records.
+
+    *records* are registry-snapshot–shaped dicts — either a live
+    ``snapshot()`` or :func:`~repro.obs.live.accumulate_samples` over
+    an ops log. Counters map to ``counter``, both gauge kinds to
+    ``gauge``, histograms to ``_count``/``_sum`` plus ``_min``/``_max``
+    gauges. Never-set gauges export ``NaN``.
+    """
+    by_name: dict[str, list[dict]] = {}
+    kinds: dict[str, str] = {}
+    for record in records:
+        by_name.setdefault(record["name"], []).append(record)
+        kinds[record["name"]] = record.get("kind", "gauge")
+    lines: list[str] = []
+    for name in sorted(by_name):
+        kind = kinds[name]
+        series = by_name[name]
+        if kind == "histogram":
+            for suffix, prom_kind, field in (
+                ("_count", "counter", "count"),
+                ("_sum", "counter", "sum"),
+                ("_min", "gauge", "min"),
+                ("_max", "gauge", "max"),
+            ):
+                metric = _prom_name(name, suffix)
+                lines.append(f"# TYPE {metric} {prom_kind}")
+                for record in series:
+                    lines.append(
+                        f"{metric}{_prom_labels(record.get('labels'))} "
+                        f"{_prom_value(record.get(field))}"
+                    )
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} {prom_kind}")
+            for record in series:
+                lines.append(
+                    f"{metric}{_prom_labels(record.get('labels'))} "
+                    f"{_prom_value(record.get('value'))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dashboard_from_ops_dir(
+    ops_dir, max_samples: int = 64
+) -> tuple[str, dict | None]:
+    """Render one dashboard frame straight from an ops directory.
+
+    Returns ``(text, health)`` so callers (the CLI's live loop) can
+    also inspect the status. Reads the JSONL ops log and the health
+    snapshot; missing pieces degrade to their empty renderings.
+    """
+    from pathlib import Path
+
+    from repro.obs.health import read_health
+    from repro.obs.opslog import read_ops_log
+
+    ops_dir = Path(ops_dir)
+    jsonl = ops_dir / "ops.jsonl"
+    records = read_ops_log(jsonl) if jsonl.exists() else []
+    samples = [r for r in records if r.get("type") == "sample"][-max_samples:]
+    heartbeats = [r for r in records if r.get("type") == "heartbeat"]
+    alerts = [r for r in records if r.get("type") == "alert"]
+    health = read_health(ops_dir / "health.json")
+    text = render_dashboard(
+        samples, health=health, heartbeats=heartbeats, alerts=alerts
+    )
+    return text, health

@@ -39,7 +39,13 @@ def _self_s(span: dict, children: dict) -> float:
 
 def _label(span: dict) -> str:
     note = span.get("note", "")
-    return f"{span['name']}[{note}]" if note else span["name"]
+    label = f"{span['name']}[{note}]" if note else span["name"]
+    if span.get("status") == "error":
+        # degraded stages must jump out of the tree: the boundary kept
+        # the run alive, but this span's body raised
+        err = (span.get("attrs") or {}).get("error.type")
+        label = f"!! {label} (error" + (f": {err})" if err else ")")
+    return label
 
 
 def render_span_tree(spans: list[dict], title: str = "span tree") -> str:
@@ -154,11 +160,13 @@ def render_trace(manifest: dict, top: int = 5) -> str:
     """Full terminal rendering of one run manifest."""
     run = manifest.get("run") or {}
     spans = manifest.get("spans", [])
+    failed = sum(1 for s in spans if s.get("status") == "error")
     header = (
         f"run: git {str(run.get('git_rev', 'unknown'))[:12]}"
         f" | config {run.get('config_fingerprint', '?')}"
         f" | {len(spans)} spans"
-        f" | {len(manifest.get('metrics', []))} metrics"
+        + (f" ({failed} failed)" if failed else "")
+        + f" | {len(manifest.get('metrics', []))} metrics"
         f" | {len(manifest.get('observations', []))} observations"
     )
     parts = [header, render_span_tree(spans)]

@@ -1,0 +1,186 @@
+"""Alert rules: grammar, hysteresis state machine, anti-flap fuzz."""
+
+import numpy as np
+import pytest
+
+from repro.obs import AlertEngine, AlertRule, MetricSample
+from repro.obs.alerts import coerce_rules
+
+
+def sample(t, window_s=1.0, **values):
+    """A MetricSample carrying one counter record per keyword."""
+    records = tuple(
+        {"name": name, "kind": "counter", "labels": {}, "value": value}
+        for name, value in values.items()
+    )
+    return MetricSample(t=float(t), window_s=window_s, records=records)
+
+
+def gauge_sample(t, name, value):
+    return MetricSample(
+        t=float(t),
+        window_s=1.0,
+        records=(
+            {"name": name, "kind": "gauge", "labels": {}, "value": value},
+        ),
+    )
+
+
+class TestGrammar:
+    def test_minimal(self):
+        r = AlertRule.parse("deep: stream.buffered > 100")
+        assert r.name == "deep"
+        assert r.metric == "stream.buffered"
+        assert (r.op, r.threshold) == (">", 100.0)
+        assert r.for_s == 0.0 and r.clear is None and r.severity == "WARN"
+        assert not r.rate and r.labels == ()
+
+    def test_full(self):
+        r = AlertRule.parse(
+            "drops: rate(stream.late_dropped{table=ras}) >= 0.5 "
+            "for 10 clear 0.1 severity ERROR"
+        )
+        assert r.rate
+        assert r.labels == (("table", "ras"),)
+        assert (r.for_s, r.clear, r.severity) == (10.0, 0.1, "ERROR")
+        assert r.signal == "rate(stream.late_dropped{table=ras})"
+
+    def test_describe_round_trips(self):
+        text = "drops: rate(x) > 0.5 for 10 clear 0.1 severity ERROR"
+        r = AlertRule.parse(text)
+        assert AlertRule.parse(r.describe()) == r
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "no-colon x > 1",
+            "name: metric ~ 1",
+            "name: metric > notanumber",
+            "name: metric > 1 severity LOUD",
+            "name: metric{badselector} > 1",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            AlertRule.parse(text)
+
+    def test_rejects_inverted_hysteresis_band(self):
+        # clear must sit on the safe side of the fire threshold
+        with pytest.raises(ValueError, match="clear"):
+            AlertRule.parse("a: m > 10 clear 20")
+        with pytest.raises(ValueError, match="clear"):
+            AlertRule.parse("a: m < 10 clear 5")
+
+    def test_coerce_mixes_strings_and_rules(self):
+        parsed = AlertRule.parse("a: m > 1")
+        rules = coerce_rules(["b: n < 2", parsed])
+        assert [r.name for r in rules] == ["b", "a"]
+
+    def test_coerce_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            coerce_rules(["a: m > 1", "a: n > 2"])
+
+
+class TestStateMachine:
+    def test_fires_immediately_without_for(self):
+        engine = AlertEngine(["hot: m > 10"])
+        events = engine.evaluate(sample(0.0, m=50))
+        assert [e.kind for e in events] == ["firing"]
+        assert "hot" in engine.firing()
+
+    def test_sustained_duration_gates_firing(self):
+        engine = AlertEngine(["hot: m > 10 for 5"])
+        assert engine.evaluate(sample(0.0, m=50)) == []  # breach starts
+        assert engine.evaluate(sample(3.0, m=50)) == []  # not sustained yet
+        events = engine.evaluate(sample(5.0, m=50))
+        assert [e.kind for e in events] == ["firing"]
+
+    def test_breach_interrupted_by_safe_resets_timer(self):
+        engine = AlertEngine(["hot: m > 10 for 5"])
+        engine.evaluate(sample(0.0, m=50))
+        engine.evaluate(sample(3.0, m=0))   # safe: timer resets
+        engine.evaluate(sample(4.0, m=50))  # breach restarts here
+        assert engine.evaluate(sample(6.0, m=50)) == []
+        assert [e.kind for e in engine.evaluate(sample(9.0, m=50))] == [
+            "firing"
+        ]
+
+    def test_clear_requires_sustained_safe(self):
+        engine = AlertEngine(["hot: m > 10 for 4 clear 2"])
+        engine.evaluate(sample(0.0, m=50))
+        assert "hot" in {
+            e.rule for e in engine.evaluate(sample(4.0, m=50))
+        }
+        assert engine.evaluate(sample(5.0, m=0)) == []  # safe starts
+        assert engine.evaluate(sample(7.0, m=0)) == []
+        events = engine.evaluate(sample(9.0, m=0))
+        assert [e.kind for e in events] == ["cleared"]
+        assert events[0].severity == "INFO"  # clears always log as INFO
+        assert engine.firing() == {}
+
+    def test_hysteresis_band_neither_fires_nor_clears(self):
+        """Values between clear and threshold hold state AND timers."""
+        engine = AlertEngine(["hot: m > 10 for 4 clear 2"])
+        engine.evaluate(sample(0.0, m=50))
+        engine.evaluate(sample(4.0, m=50))  # fires
+        # oscillate inside the band (2 < v <= 10): firing must persist
+        for t in range(5, 40):
+            assert engine.evaluate(sample(float(t), m=5)) == []
+        assert "hot" in engine.firing()
+        # a dip into the band must not reset an ok-side breach timer
+        engine2 = AlertEngine(["hot: m > 10 for 4 clear 2"])
+        engine2.evaluate(sample(0.0, m=50))  # breach starts
+        engine2.evaluate(sample(2.0, m=5))   # in-band: timer held
+        assert [e.kind for e in engine2.evaluate(sample(4.0, m=50))] == [
+            "firing"
+        ]
+
+    def test_none_values_are_inert(self):
+        """A never-set gauge is unknown, not evidence either way."""
+        engine = AlertEngine(["low: g < 5 for 2"])
+        assert engine.evaluate(gauge_sample(0.0, "g", 1.0)) == []
+        assert engine.evaluate(gauge_sample(1.0, "g", None)) == []
+        # the breach timer survived the unknown reading
+        assert [e.kind for e in engine.evaluate(gauge_sample(2.0, "g", 1.0))
+                ] == ["firing"]
+
+    def test_rate_signal(self):
+        engine = AlertEngine(["fast: rate(m) > 10"])
+        # 100 increments over a 20 s window = 5/s: below threshold
+        assert engine.evaluate(sample(20.0, window_s=20.0, m=100)) == []
+        # 100 over 2 s = 50/s: breach
+        assert [e.kind for e in engine.evaluate(
+            sample(22.0, window_s=2.0, m=100)
+        )] == ["firing"]
+
+    def test_fuzz_no_flapping(self):
+        """Acceptance: a signal oscillating around one threshold cannot
+        flap. With the value bouncing inside [clear, threshold] after a
+        single excursion, there must be at most one firing and at most
+        one cleared transition."""
+        rng = np.random.default_rng(2011)
+        engine = AlertEngine(["flappy: m > 100 for 3 clear 50"])
+        transitions = []
+        t = 0.0
+        # phase 1: hard breach long enough to fire
+        for _ in range(8):
+            transitions += engine.evaluate(sample(t, m=500))
+            t += 1.0
+        # phase 2: noise entirely inside the hysteresis band
+        for _ in range(500):
+            v = float(rng.uniform(51, 100))
+            transitions += engine.evaluate(sample(t, m=v))
+            t += 1.0
+        # phase 3: sustained safe
+        for _ in range(8):
+            transitions += engine.evaluate(sample(t, m=0))
+            t += 1.0
+        kinds = [e.kind for e in transitions]
+        assert kinds == ["firing", "cleared"], f"flapped: {kinds}"
+
+    def test_two_rules_independent(self):
+        engine = AlertEngine(["a: m > 10", "b: n > 10"])
+        events = engine.evaluate(sample(0.0, m=50, n=0))
+        assert [e.rule for e in events] == ["a"]
+        states = engine.states()
+        assert states["a"].firing and not states["b"].firing

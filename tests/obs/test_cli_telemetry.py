@@ -53,6 +53,63 @@ class TestTelemetryOut:
         assert not list(tmp_path.glob("*.jsonl"))
 
 
+class TestTelemetryOutAllCommands:
+    """Every long-running command honors --telemetry-out (S2): the
+    manifest is written, valid, and names the command in its config."""
+
+    def test_fleet_manifest(self, tmp_path, capsys):
+        path = tmp_path / "fleet.jsonl"
+        rc = main([
+            "fleet", "--machines", "2", "--scale", "0.02",
+            "--windows", "2", "--telemetry-out", str(path),
+        ])
+        assert rc == 0
+        assert validate_manifest(path) == []
+        manifest = read_manifest(path)
+        assert manifest["run"]["config"]["command"] == "fleet"
+        assert f"telemetry manifest: {path}" in capsys.readouterr().out
+
+    @pytest.fixture(scope="class")
+    def trace_files(self, tmp_path_factory):
+        from repro.logs import write_job_log, write_ras_log
+        from tests.stream.conftest import make_jobs, make_ras
+
+        root = tmp_path_factory.mktemp("trace")
+        ras = make_ras(200, seed=41)
+        job = make_jobs(ras, 30, seed=42)
+        write_ras_log(ras, root / "ras.psv")
+        write_job_log(job, root / "job.psv")
+        return root / "ras.psv", root / "job.psv"
+
+    def test_stream_manifest(self, trace_files, tmp_path, capsys):
+        ras, job = trace_files
+        path = tmp_path / "stream.jsonl"
+        rc = main([
+            "stream", "--ras", str(ras), "--job", str(job),
+            "--increments", "2", "--telemetry-out", str(path),
+        ])
+        assert rc == 0
+        assert validate_manifest(path) == []
+        manifest = read_manifest(path)
+        assert manifest["run"]["config"]["command"] == "stream"
+        assert f"telemetry manifest: {path}" in capsys.readouterr().out
+
+    def test_daemon_manifest(self, trace_files, tmp_path, capsys):
+        ras, job = trace_files
+        path = tmp_path / "daemon.jsonl"
+        rc = main([
+            "daemon", "--ras", str(ras), "--job", str(job),
+            "--checkpoint-root", str(tmp_path / "ckpt"),
+            "--poll-interval", "0", "--idle-exit", "2",
+            "--telemetry-out", str(path),
+        ])
+        assert rc == 0
+        assert validate_manifest(path) == []
+        manifest = read_manifest(path)
+        assert manifest["run"]["config"]["command"] == "daemon"
+        assert f"telemetry manifest: {path}" in capsys.readouterr().out
+
+
 class TestTraceCommand:
     def test_render(self, demo_manifest, capsys):
         assert main(["trace", str(demo_manifest)]) == 0

@@ -1,0 +1,155 @@
+"""Health evaluation, atomic snapshot IO, and the probe's exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HealthThresholds,
+    evaluate_health,
+    probe_health,
+    read_health,
+    write_health,
+)
+from repro.obs.health import status_exit_code
+
+NOMINAL = {
+    "cycle": 3,
+    "feed_degraded": False,
+    "watermark_lag_s": 10.0,
+    "reorder_depth": 100,
+    "late_drop_rate": 0.0,
+    "checkpoint_age_s": 5.0,
+    "store_backlog": 0,
+}
+
+
+class TestEvaluateHealth:
+    def test_nominal_is_healthy(self):
+        status, reasons = evaluate_health(NOMINAL)
+        assert (status, reasons) == ("healthy", [])
+
+    def test_missing_vitals_are_not_penalized(self):
+        status, reasons = evaluate_health({"cycle": 1})
+        assert (status, reasons) == ("healthy", [])
+
+    @pytest.mark.parametrize(
+        "key, value, fragment",
+        [
+            ("feed_degraded", True, "feed degraded"),
+            ("watermark_lag_s", 1e6, "watermark lag"),
+            ("reorder_depth", 10**9, "reorder buffer"),
+            ("late_drop_rate", 0.5, "late-drop rate"),
+            ("store_backlog", 10**9, "store backlog"),
+        ],
+    )
+    def test_degraded_vitals(self, key, value, fragment):
+        status, reasons = evaluate_health({**NOMINAL, key: value})
+        assert status == "degraded"
+        assert any(fragment in r for r in reasons)
+
+    def test_checkpoint_age_is_unhealthy(self):
+        # unable to persist progress = one crash from a long replay
+        status, reasons = evaluate_health(
+            {**NOMINAL, "checkpoint_age_s": 10_000.0}
+        )
+        assert status == "unhealthy"
+        assert any("checkpoint age" in r for r in reasons)
+
+    def test_custom_thresholds(self):
+        th = HealthThresholds(max_reorder_depth=10)
+        status, _ = evaluate_health(NOMINAL, thresholds=th)
+        assert status == "degraded"
+
+    def test_warn_alert_degrades(self):
+        firing = {"slow": {"severity": "WARN", "value": 1.0}}
+        status, reasons = evaluate_health(NOMINAL, firing=firing)
+        assert status == "degraded"
+        assert any("alert firing: slow" in r for r in reasons)
+
+    def test_error_alert_is_unhealthy(self):
+        firing = {"down": {"severity": "ERROR", "value": 1.0}}
+        status, _ = evaluate_health(NOMINAL, firing=firing)
+        assert status == "unhealthy"
+
+    def test_worst_signal_wins(self):
+        status, reasons = evaluate_health(
+            {**NOMINAL, "feed_degraded": True, "checkpoint_age_s": 10_000.0}
+        )
+        assert status == "unhealthy"
+        assert len(reasons) == 2
+
+
+class TestSnapshotIO:
+    def test_round_trip_adds_written_unix(self, tmp_path):
+        path = tmp_path / "health.json"
+        write_health(path, {"status": "healthy", "t": 1.0})
+        got = read_health(path)
+        assert got["status"] == "healthy"
+        assert isinstance(got["written_unix"], float)
+
+    def test_replace_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "health.json"
+        write_health(path, {"status": "healthy"})
+        write_health(path, {"status": "degraded"})
+        assert [p.name for p in tmp_path.iterdir()] == ["health.json"]
+        assert read_health(path)["status"] == "degraded"
+
+    def test_read_missing_is_none(self, tmp_path):
+        assert read_health(tmp_path / "nope.json") is None
+
+    def test_read_torn_is_none(self, tmp_path):
+        path = tmp_path / "health.json"
+        path.write_text('{"status": "hea')
+        assert read_health(path) is None
+
+
+class TestProbe:
+    def test_exit_codes(self):
+        assert status_exit_code("healthy") == 0
+        assert status_exit_code("degraded") == 1
+        assert status_exit_code("unhealthy") == 2
+        assert status_exit_code("garbage") == 2
+
+    def test_fresh_snapshot(self, tmp_path):
+        path = tmp_path / "health.json"
+        write_health(path, {"status": "healthy", "reasons": []})
+        verdict = probe_health(path, max_age_s=60.0)
+        assert (verdict.status, verdict.exit_code) == ("healthy", 0)
+
+    def test_degraded_snapshot_carries_reasons(self, tmp_path):
+        path = tmp_path / "health.json"
+        write_health(
+            path, {"status": "degraded", "reasons": ["feed degraded"]}
+        )
+        verdict = probe_health(path, max_age_s=60.0)
+        assert (verdict.status, verdict.exit_code) == ("degraded", 1)
+        assert "feed degraded" in verdict.reasons
+        assert "feed degraded" in verdict.describe()
+
+    def test_missing_snapshot_is_unhealthy(self, tmp_path):
+        verdict = probe_health(tmp_path / "nope.json")
+        assert (verdict.status, verdict.exit_code) == ("unhealthy", 2)
+
+    def test_stale_snapshot_presumed_dead(self, tmp_path):
+        path = tmp_path / "health.json"
+        write_health(path, {"status": "healthy"})
+        written = read_health(path)["written_unix"]
+        verdict = probe_health(path, max_age_s=60.0, now=written + 120.0)
+        assert (verdict.status, verdict.exit_code) == ("unhealthy", 2)
+        assert any("presumed dead" in r for r in verdict.reasons)
+
+    def test_final_snapshot_exempt_from_staleness(self, tmp_path):
+        # a finished daemon is not a dead one
+        path = tmp_path / "health.json"
+        write_health(path, {"status": "healthy", "final": True})
+        written = read_health(path)["written_unix"]
+        verdict = probe_health(path, max_age_s=60.0, now=written + 1e6)
+        assert (verdict.status, verdict.exit_code) == ("healthy", 0)
+
+    def test_bad_status_is_unhealthy(self, tmp_path):
+        path = tmp_path / "health.json"
+        path.write_text(json.dumps({"status": "excellent"}))
+        verdict = probe_health(path)
+        assert verdict.status == "unhealthy"
+        assert any("bad status" in r for r in verdict.reasons)

@@ -1,0 +1,161 @@
+"""Span error status: raised stages mark their span, traces show it."""
+
+import pytest
+
+from repro.core.pipeline import CoAnalysis
+from repro.obs import Tracer, validate_manifest, write_manifest
+from repro.viz.trace import render_trace
+from tests.stream.conftest import make_jobs, make_ras
+
+
+class TestSpanStatus:
+    def test_ok_by_default(self):
+        tracer = Tracer()
+        with tracer.activate(root="run"):
+            with tracer.span("fine"):
+                pass
+        assert all(s.status == "ok" for s in tracer.spans)
+
+    def test_raise_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.activate(root=None):
+                with tracer.span("broken"):
+                    raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.attrs["error.type"] == "ValueError"
+        assert span.wall_s >= 0.0  # the span still closed properly
+
+    def test_error_in_child_leaves_parent_ok_if_caught(self):
+        tracer = Tracer()
+        with tracer.activate(root=None):
+            with tracer.span("parent"):
+                try:
+                    with tracer.span("child"):
+                        raise RuntimeError("contained")
+                except RuntimeError:
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["child"].status == "error"
+        assert by_name["parent"].status == "ok"
+
+    def test_uncaught_error_marks_whole_ancestry(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.activate(root="run"):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        raise RuntimeError("up")
+        statuses = {s.name: s.status for s in tracer.spans}
+        assert statuses == {"run": "error", "outer": "error",
+                            "inner": "error"}
+
+    def test_status_survives_manifest_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.activate(root=None):
+                with tracer.span("bad"):
+                    raise ValueError("x")
+        path = tmp_path / "run.jsonl"
+        write_manifest(path, tracer=tracer)
+        assert validate_manifest(path) == []
+        import json
+
+        spans = [
+            json.loads(line)
+            for line in path.read_text().splitlines()[1:]
+            if json.loads(line).get("type") == "span"
+        ]
+        (bad,) = [s for s in spans if s["name"] == "bad"]
+        assert bad["status"] == "error"
+        assert bad["attrs"]["error.type"] == "ValueError"
+
+    def test_manifest_rejects_invalid_status(self, tmp_path):
+        tracer = Tracer()
+        with tracer.activate(root=None):
+            with tracer.span("s"):
+                pass
+        path = tmp_path / "run.jsonl"
+        write_manifest(path, tracer=tracer)
+        import json
+
+        lines = path.read_text().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "span":
+                record["status"] = "on-fire"
+            doctored.append(json.dumps(record))
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(doctored) + "\n")
+        assert any("status" in p for p in validate_manifest(bad))
+
+
+class TestErrorBoundarySpans:
+    def test_captured_stage_failure_is_an_error_span(self, monkeypatch):
+        """A study that dies behind an error boundary completes the run
+        but leaves a status=error span in the trace."""
+        import repro.core.pipeline as pipeline_mod
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("study down")
+
+        monkeypatch.setattr(
+            pipeline_mod, "categorize_interruptions", explode
+        )
+        ras = make_ras(300, seed=5)
+        job = make_jobs(ras, 40, seed=6)
+        tracer = Tracer()
+        with tracer.activate(root="run"):
+            result = CoAnalysis(study_workers=1).run(ras, job)
+        assert any(
+            f.stage == "studies.categorize" for f in result.stage_failures
+        )
+        (span,) = [
+            s for s in tracer.spans if s.name == "studies.categorize"
+        ]
+        assert span.status == "error"
+        assert span.attrs["error.type"] == "RuntimeError"
+
+
+class TestTraceRendering:
+    def make_failed_trace(self):
+        tracer = Tracer()
+        with tracer.activate(root="run"):
+            with tracer.span("good"):
+                pass
+            try:
+                with tracer.span("bad"):
+                    raise ValueError("nope")
+            except ValueError:
+                pass
+        return tracer
+
+    def test_failed_spans_render_distinctly(self):
+        tracer = self.make_failed_trace()
+        out = render_trace(
+            {"spans": [s.as_record() for s in tracer.spans]}
+        )
+        bad_line = next(ln for ln in out.splitlines() if "bad" in ln)
+        good_line = next(ln for ln in out.splitlines() if "good" in ln)
+        assert "!!" in bad_line
+        assert "(error: ValueError)" in bad_line
+        assert "!!" not in good_line
+
+    def test_header_counts_failures(self):
+        tracer = self.make_failed_trace()
+        out = render_trace(
+            {"spans": [s.as_record() for s in tracer.spans]}
+        )
+        assert "1 failed" in out
+
+    def test_clean_trace_has_no_failure_marks(self):
+        tracer = Tracer()
+        with tracer.activate(root="run"):
+            with tracer.span("fine"):
+                pass
+        out = render_trace(
+            {"spans": [s.as_record() for s in tracer.spans]}
+        )
+        assert "!!" not in out and "failed" not in out

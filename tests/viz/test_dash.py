@@ -1,0 +1,143 @@
+"""Dashboard rendering + Prometheus exposition (pure-text checks)."""
+
+from repro.obs import MetricSample
+from repro.viz.dash import (
+    dashboard_from_ops_dir,
+    render_dashboard,
+    render_prometheus,
+)
+
+
+def counter(name, value, **labels):
+    return {"name": name, "kind": "counter", "labels": labels,
+            "value": value}
+
+
+def gauge(name, value, **labels):
+    return {"name": name, "kind": "gauge", "labels": labels, "value": value}
+
+
+def sample(t, window_s, *records):
+    return MetricSample(t=t, window_s=window_s, records=tuple(records))
+
+
+HEALTH = {
+    "machine": "bgp",
+    "status": "degraded",
+    "t": 12.0,
+    "reasons": ["feed degraded (IO retries exhausted)"],
+    "firing": {
+        "drops": {"severity": "ERROR", "value": 0.7, "since": 8.0},
+    },
+}
+
+
+class TestDashboard:
+    def test_full_frame(self):
+        samples = [
+            sample(float(t), 1.0, counter("work", 10 * t), gauge("depth", t))
+            for t in range(1, 6)
+        ]
+        heartbeats = [
+            {"type": "heartbeat", "t": 5.0, "status": "degraded",
+             "heartbeat": {"cycle": 5, "watermark_lag_s": 30.0,
+                           "reorder_depth": 12, "store_backlog": 0}},
+        ]
+        alerts = [
+            {"type": "alert", "rule": "drops", "kind": "firing", "t": 8.0,
+             "value": 0.7},
+        ]
+        out = render_dashboard(
+            samples, health=HEALTH, heartbeats=heartbeats, alerts=alerts
+        )
+        assert "[WARN] bgp — degraded" in out
+        assert "feed degraded" in out
+        assert "work" in out and "/s" in out
+        assert "depth" in out
+        assert "FIRING drops [ERROR]" in out
+        assert "firing drops" in out
+        assert "cycle=5" in out and "lag=30" in out
+
+    def test_accepts_raw_records(self):
+        # the ops-log tail arrives as dicts, not MetricSample objects
+        out = render_dashboard(
+            [sample(1.0, 1.0, counter("c", 5)).as_record()]
+        )
+        assert "c" in out
+
+    def test_empty_everything(self):
+        out = render_dashboard([])
+        assert "no health snapshot" in out
+        assert "(no samples)" in out
+        assert "(quiet)" in out
+
+    def test_unhealthy_badge(self):
+        out = render_dashboard(
+            [], health={"status": "unhealthy", "machine": "m"}
+        )
+        assert "[FAIL]" in out
+
+    def test_series_cap_reports_dropped(self):
+        records = [counter(f"m{i:02d}", i + 1) for i in range(20)]
+        out = render_dashboard(
+            [sample(1.0, 1.0, *records)], max_series=5
+        )
+        assert "+15 quieter series not shown" in out
+
+
+class TestPrometheus:
+    def test_counter_and_gauge(self):
+        out = render_prometheus([
+            counter("stream.rows", 7, table="ras"),
+            gauge("depth", 3.5),
+        ])
+        assert "# TYPE repro_stream_rows counter" in out
+        assert 'repro_stream_rows{table="ras"} 7.0' in out
+        assert "# TYPE repro_depth gauge" in out
+        assert "repro_depth 3.5" in out
+
+    def test_histogram_expands(self):
+        out = render_prometheus([
+            {"name": "lat", "kind": "histogram", "labels": {},
+             "count": 4, "sum": 10.0, "min": 1.0, "max": 4.0},
+        ])
+        assert "# TYPE repro_lat_count counter" in out
+        assert "repro_lat_count 4.0" in out
+        assert "repro_lat_sum 10.0" in out
+        assert "# TYPE repro_lat_min gauge" in out
+        assert "repro_lat_max 4.0" in out
+
+    def test_never_set_gauge_is_nan(self):
+        out = render_prometheus([
+            {"name": "pos", "kind": "monotonic_gauge", "labels": {},
+             "value": None},
+        ])
+        assert "repro_pos NaN" in out
+
+    def test_empty(self):
+        assert render_prometheus([]) == ""
+
+
+class TestFromOpsDir:
+    def test_missing_dir_degrades(self, tmp_path):
+        text, health = dashboard_from_ops_dir(tmp_path / "nope")
+        assert health is None
+        assert "no health snapshot" in text
+
+    def test_reads_real_ops_dir(self, tmp_path):
+        from repro.obs import LiveTelemetry, MetricsRegistry
+
+        registry = MetricsRegistry()
+        clock_t = [0.0]
+        live = LiveTelemetry(
+            tmp_path / "ops", interval_s=1.0, registry=registry,
+            machine="bgp", clock=lambda: clock_t[0],
+        )
+        registry.counter("work").inc(10)
+        clock_t[0] = 2.0
+        live.record_cycle({"cycle": 1, "reorder_depth": 3})
+        text, health = dashboard_from_ops_dir(tmp_path / "ops")
+        assert health["status"] == "healthy"
+        assert "[ OK ] bgp" in text
+        assert "work" in text
+        assert "cycle=1" in text
